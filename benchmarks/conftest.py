@@ -1,0 +1,25 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark regenerates (part of) a table or figure of the paper at
+a configurable problem scale:
+
+* default: ``REPRO_SCALE=0.32`` — minutes-not-hours wall-clock, same
+  qualitative shape;
+* ``REPRO_SCALE=1.0 pytest benchmarks/ --benchmark-only`` — the paper's
+  exact problem sizes (n=200 shortest paths, n up to 640 gauss).
+
+The *simulated* seconds are attached to each benchmark via
+``benchmark.extra_info`` — the wall-clock numbers pytest-benchmark
+reports measure the simulator itself, not the T800 machine.
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.32"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return SCALE

@@ -1,0 +1,53 @@
+"""Benchmark F1 — Figure 1: the two ratio-vs-processors panels.
+
+The paper plots, per matrix size, Skil's speed-up over DPFL (left,
+"most of the speedups ... are grouped around the factor 6, while only a
+few go below 5 [for] small partitions") and its slow-down vs Parix-C
+(right, "mainly grouped around 2, in some cases (generally, for large
+networks) going down to 1").
+"""
+
+from repro.eval.experiments import figure1, table2
+from repro.eval.figures import format_figure1, series_csv
+
+
+def test_figure1_series_shape(benchmark, scale):
+    cells = benchmark.pedantic(lambda: table2(scale=scale), rounds=1, iterations=1)
+    speedups, slowdowns = figure1(cells)
+    print()
+    print(format_figure1(speedups, slowdowns))
+    print(series_csv(speedups, "speedup_vs_dpfl"))
+    print(series_csv(slowdowns, "slowdown_vs_c"))
+
+    all_ups = [v for pts in speedups.values() for _, v in pts]
+    all_downs = [v for pts in slowdowns.values() for _, v in pts]
+    assert all_ups and all_downs
+
+    # left panel: grouped around 6, dips only for small partitions
+    assert sum(1 for v in all_ups if 5.0 <= v <= 7.0) >= len(all_ups) * 0.6
+    assert min(all_ups) > 2.5
+
+    # right panel: grouped around 2, approaching 1 on large networks
+    assert sum(1 for v in all_downs if 1.5 <= v <= 2.7) >= len(all_downs) * 0.5
+    biggest_p = max(p for pts in slowdowns.values() for p, _ in pts)
+    big_net = [v for pts in slowdowns.values() for p, v in pts if p == biggest_p]
+    assert min(big_net) < 1.6, "large networks should approach parity with C"
+
+    # within one matrix size, the speed-up falls as processors grow
+    for n, pts in speedups.items():
+        vals = [v for _, v in pts]
+        if len(vals) >= 2:
+            assert vals[0] >= vals[-1] - 0.3, f"speed-up trend off for n={n}"
+
+
+def test_bench_figure1_generation(benchmark, scale):
+    """Wall-clock of regenerating the full figure from scratch."""
+    small = min(scale, 0.15)
+    result = benchmark.pedantic(
+        lambda: figure1(scale=small), rounds=1, iterations=1
+    )
+    speedups, slowdowns = result
+    benchmark.extra_info["series"] = {
+        "speedups": {n: len(p) for n, p in speedups.items()},
+    }
+    assert speedups and slowdowns

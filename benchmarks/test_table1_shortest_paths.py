@@ -1,0 +1,48 @@
+"""Benchmark T1 — Table 1: shortest paths, Skil vs DPFL vs old Parix-C.
+
+Regenerates the paper's Table 1 rows (grids 2x2 ... 8x8, n ~ 200) and
+checks the reproduced *shape*:
+
+* Skil is ~6x faster than DPFL at every grid (paper: 6.04 - 6.51);
+* Skil beats the old message-passing C at every grid (paper: Skil/C
+  between 0.90 and 0.97; our simulated machine gives Skil a slightly
+  larger edge on big grids because the naive torus embedding penalises
+  the old C's wrap-around rotations more than Parix did).
+"""
+
+import pytest
+
+from repro.eval.experiments import table1
+from repro.eval.harness import run_shpaths
+from repro.eval.tables import format_table1
+
+
+def test_table1_full_grid(benchmark, scale):
+    rows = benchmark.pedantic(lambda: table1(scale=scale), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [
+        (r.p, round(r.skil_seconds, 2), round(r.speedup_vs_dpfl, 2)) for r in rows
+    ]
+    print()
+    print(format_table1(rows))
+    assert len(rows) == 7
+    for r in rows:
+        # who wins, by roughly what factor
+        assert 4.0 < r.speedup_vs_dpfl < 9.0, f"DPFL/Skil off at p={r.p}"
+        assert r.ratio_vs_c_old < 1.1, f"Skil should beat old C at p={r.p}"
+    # speed-ups degrade (mildly) as partitions shrink
+    ups = [r.speedup_vs_dpfl for r in rows]
+    assert ups[0] >= ups[-1]
+
+
+@pytest.mark.parametrize("language", ["skil", "dpfl", "parix-c-old"])
+def test_bench_shpaths_8x8(benchmark, scale, language):
+    """Wall-clock of simulating one 8x8 Table-1 cell per language."""
+    n = max(8, int(200 * scale))
+
+    def run():
+        return run_shpaths(language, 64, n)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    benchmark.extra_info["messages"] = result.messages
+    assert result.seconds > 0

@@ -1,0 +1,67 @@
+"""Benchmark T2 — Table 2: Gaussian elimination grid.
+
+Regenerates the Skil absolute times, DPFL/Skil quotients (paper: 3.48 -
+6.69, growing with n, shrinking with p) and Skil/Parix-C quotients
+(paper: 0.91 - 2.64, shrinking with p) over the paper's (p, n) grid, and
+checks those bands and trends.
+"""
+
+import pytest
+
+from repro.eval.experiments import TABLE2_NS, TABLE2_PS, table2
+from repro.eval.harness import run_gauss
+from repro.eval.tables import format_table2
+
+
+def test_table2_full_grid(benchmark, scale):
+    cells = benchmark.pedantic(lambda: table2(scale=scale), rounds=1, iterations=1)
+    print()
+    print(format_table2(cells))
+    assert len(cells) == len(TABLE2_PS) * len(TABLE2_NS)
+
+    by_p: dict[int, list] = {}
+    for c in cells:
+        by_p.setdefault(c.p, []).append(c)
+
+    for p, col in by_p.items():
+        col.sort(key=lambda c: c.n)
+        for c in col:
+            if c.dpfl_over_skil is not None:
+                assert 2.5 < c.dpfl_over_skil < 8.0, f"DPFL/Skil off at {c.p},{c.n}"
+            assert 0.8 < c.skil_over_c < 3.0, f"Skil/C off at {c.p},{c.n}"
+        # DPFL/Skil grows with the matrix size (comm overhead dilutes)
+        ratios = [c.dpfl_over_skil for c in col if c.dpfl_over_skil]
+        assert ratios == sorted(ratios) or len(ratios) < 2
+
+    # Skil/C shrinks with the network size at the largest n
+    largest_n = max(c.n for c in cells)
+    last = [c for c in cells if c.n == largest_n]
+    last.sort(key=lambda c: c.p)
+    assert last[0].skil_over_c >= last[-1].skil_over_c
+
+
+def test_table2_memory_gaps(benchmark):
+    """The paper could not fit large matrices on small networks (1 MB
+    nodes); the same cells must be marked infeasible for DPFL here."""
+    from repro.eval.harness import fits_paper_memory
+
+    benchmark.pedantic(lambda: fits_paper_memory(640, 4, "dpfl"),
+                       rounds=1, iterations=1)
+
+    assert not fits_paper_memory(640, 4, "dpfl")
+    assert fits_paper_memory(640, 64, "dpfl")
+    assert fits_paper_memory(64, 4, "dpfl")
+
+
+@pytest.mark.parametrize("language", ["skil", "dpfl", "parix-c"])
+def test_bench_gauss_p16(benchmark, scale, language):
+    """Wall-clock of simulating one 4x4 Table-2 cell per language."""
+    n = max(16, int(256 * scale))
+    n -= n % 16
+
+    def run():
+        return run_gauss(language, 16, n)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    assert result.seconds > 0

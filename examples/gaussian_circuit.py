@@ -1,0 +1,57 @@
+"""Solving a resistor-network (circuit) system with skeleton Gauss.
+
+Nodal analysis of a random resistor grid produces the classic
+diagonally-dominant linear system ``G v = i`` (conductance matrix x
+node voltages = injected currents).  We solve it with the paper's
+complete Gaussian elimination (§4.2) — fold-based pivot search, row
+permutation, pivot-row broadcast, elimination maps — on a simulated
+32-processor machine, and show the A2 ablation (pivoting ≈ 2x).
+
+Run:  python examples/gaussian_circuit.py
+"""
+
+import numpy as np
+
+from repro import Machine, SKIL
+from repro.apps import gauss_full, gauss_simple
+from repro.skeletons import SkilContext
+
+P = 16
+N = 256  # circuit nodes (divisible by p, as the paper assumes)
+
+
+def resistor_grid_system(n: int, seed: int = 0):
+    """Conductance matrix of a random resistor network + current vector."""
+    rng = np.random.default_rng(seed)
+    g = np.zeros((n, n))
+    # ring backbone + random chords, conductances in siemens
+    for i in range(n):
+        for j in ([(i + 1) % n] + list(rng.integers(0, n, size=3))):
+            if i == j:
+                continue
+            cond = rng.uniform(0.1, 2.0)
+            g[i, j] -= cond
+            g[j, i] -= cond
+    np.fill_diagonal(g, 0.0)
+    np.fill_diagonal(g, -g.sum(axis=1) + 1.0)  # +1: grounding conductance
+    currents = rng.uniform(-1.0, 1.0, size=n)
+    return g, currents
+
+
+G, I = resistor_grid_system(N, seed=7)
+
+ctx = SkilContext(Machine(P), SKIL)
+voltages, rep_full = gauss_full(ctx, G, I)
+
+expect = np.linalg.solve(G, I)
+assert np.allclose(voltages, expect)
+print(f"circuit: {N} nodes on {P} processors")
+print("node voltages verified against numpy.linalg.solve ✓")
+print(f"max |v|           : {np.abs(voltages).max():.4f} V")
+print(f"simulated time    : {rep_full.seconds:.2f} s (full, with pivoting)")
+
+ctx2 = SkilContext(Machine(P), SKIL)
+_, rep_simple = gauss_simple(ctx2, G, I)
+print(f"simulated time    : {rep_simple.seconds:.2f} s (simple, no pivoting)")
+print(f"pivoting overhead : {rep_full.seconds / rep_simple.seconds:.2f}x "
+      "(paper: 'about twice as long')")

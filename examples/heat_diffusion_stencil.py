@@ -1,0 +1,101 @@
+"""Heat diffusion with the overlap (ghost-cell) extension skeleton.
+
+The paper's conclusions propose "overlapping areas for the single
+partitions, in order to reduce communication in operations which
+require more than one element at a time. Such operations are used for
+instance in solving partial differential equations" — this example is
+exactly that: Jacobi iteration of the 2-D heat equation using
+``array_map_overlap``, which exchanges one-element halos between
+grid-neighbouring partitions instead of doing remote element reads.
+
+Run:  python examples/heat_diffusion_stencil.py
+"""
+
+import numpy as np
+
+from repro import Machine, SKIL
+from repro.skeletons import SkilContext, skil_fn
+
+P = 16
+N = 64
+STEPS = 25
+ALPHA = 0.2
+
+
+def jacobi_vec(padded, pad, grids, env):
+    """Vectorized 5-point stencil on the halo-extended block.
+
+    ``padded`` is the owned block widened by the (clipped) halo; ``pad``
+    gives the offset of the owned window.  Edges of the *global* array
+    clamp (repeat the border value), matching the scalar ``get()``.
+    """
+    r0, c0 = pad
+    r1 = r0 + grids[0].size
+    c1 = c0 + grids[1].size
+    center = padded[r0:r1, c0:c1]
+
+    def shifted(dr, dc):
+        rs = slice(r0 + dr, r1 + dr)
+        cs = slice(c0 + dc, c1 + dc)
+        if rs.start < 0 or rs.stop > padded.shape[0] or cs.start < 0 or (
+            cs.stop > padded.shape[1]
+        ):
+            # global border: clamp by shifting the centre window itself
+            out = center.copy()
+            if dr == -1:
+                out[1:] = center[:-1]
+            elif dr == 1:
+                out[:-1] = center[1:]
+            if dc == -1:
+                out[:, 1:] = center[:, :-1]
+            elif dc == 1:
+                out[:, :-1] = center[:, 1:]
+            return out
+        return padded[rs, cs]
+
+    return center + ALPHA * (
+        shifted(-1, 0) + shifted(1, 0) + shifted(0, -1) + shifted(0, 1) - 4 * center
+    )
+
+
+@skil_fn(ops=7, vectorized=jacobi_vec)
+def jacobi(get, ix):
+    c = get(0, 0)
+    return c + ALPHA * (get(-1, 0) + get(1, 0) + get(0, -1) + get(0, 1) - 4 * c)
+
+
+def oracle_step(t: np.ndarray) -> np.ndarray:
+    up = np.vstack([t[:1], t[:-1]])
+    down = np.vstack([t[1:], t[-1:]])
+    left = np.hstack([t[:, :1], t[:, :-1]])
+    right = np.hstack([t[:, 1:], t[:, -1:]])
+    return t + ALPHA * (up + down + left + right - 4 * t)
+
+
+machine = Machine(P)
+ctx = SkilContext(machine, SKIL)
+
+# hot spot in the middle of a cold plate
+hot = skil_fn(
+    ops=1,
+    vectorized=lambda grids, env: np.where(
+        (abs(grids[0] - N // 2) < 4) & (abs(grids[1] - N // 2) < 4), 100.0, 0.0
+    ),
+)(lambda ix: 100.0 if abs(ix[0] - N // 2) < 4 and abs(ix[1] - N // 2) < 4 else 0.0)
+
+t_cur = ctx.array_create(2, (N, N), (0, 0), (-1, -1), hot, "DISTR_DEFAULT")
+t_new = ctx.array_create(2, (N, N), (0, 0), (-1, -1),
+                         skil_fn(ops=0)(lambda ix: 0.0), "DISTR_DEFAULT")
+
+expect = t_cur.global_view()
+for step in range(STEPS):
+    ctx.array_map_overlap(jacobi, t_cur, t_new, overlap=1)
+    t_cur, t_new = t_new, t_cur
+    expect = oracle_step(expect)
+
+assert np.allclose(t_cur.global_view(), expect)
+print(f"heat diffusion: {N}x{N} plate, {STEPS} Jacobi steps on {P} processors")
+print("temperatures verified against a sequential oracle ✓")
+print(f"peak temperature  : {t_cur.global_view().max():.2f}")
+print(f"simulated time    : {machine.time * 1e3:.1f} ms")
+print(f"halo messages     : {machine.stats.messages}")

@@ -1,0 +1,30 @@
+"""The paper's sample applications, written against the skeleton API."""
+
+from repro.apps.gauss import ELEMREC, gauss_full, gauss_simple, random_system
+from repro.apps.matmul import matmul
+from repro.apps.quicksort import quicksort
+from repro.apps.shortest_paths import (
+    SAT_PLUS,
+    UINT_INF,
+    RunReport,
+    random_distance_matrix,
+    round_up_to_grid,
+    shortest_paths_oracle,
+    shpaths,
+)
+
+__all__ = [
+    "shpaths",
+    "random_distance_matrix",
+    "round_up_to_grid",
+    "shortest_paths_oracle",
+    "SAT_PLUS",
+    "UINT_INF",
+    "RunReport",
+    "gauss_simple",
+    "gauss_full",
+    "random_system",
+    "ELEMREC",
+    "matmul",
+    "quicksort",
+]

@@ -1,0 +1,58 @@
+"""Classical matrix multiplication via ``array_gen_mult``.
+
+Not one of the paper's two showcase applications, but the workload of
+the *equally optimized* Skil-vs-C comparison in §5.1 ("we have done the
+comparison between equally optimized C and Skil versions of the matrix
+multiplication algorithm, and obtained Skil times around 20% slower") —
+ablation A1 in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.shortest_paths import RunReport
+from repro.errors import SkilError
+from repro.machine.machine import DISTR_TORUS2D
+from repro.skeletons import PLUS, TIMES, SkilContext, skil_fn
+
+__all__ = ["matmul"]
+
+
+def matmul(
+    ctx: SkilContext, a_mat: np.ndarray, b_mat: np.ndarray
+) -> tuple[np.ndarray, RunReport]:
+    """Compute ``a_mat @ b_mat`` on the machine; returns (C, report)."""
+    n = a_mat.shape[0]
+    if a_mat.shape != (n, n) or b_mat.shape != (n, n):
+        raise SkilError("matmul expects two square matrices of equal size")
+    g = ctx.machine.mesh.rows
+    if ctx.machine.mesh.rows != ctx.machine.mesh.cols:
+        raise SkilError("matmul needs a square processor grid")
+    if n % g != 0:
+        raise SkilError(f"n={n} must be divisible by the torus side {g}")
+
+    init_a = skil_fn(
+        ops=1, vectorized=lambda grids, env: a_mat[grids[0], grids[1]]
+    )(lambda ix: a_mat[ix])
+    init_b = skil_fn(
+        ops=1, vectorized=lambda grids, env: b_mat[grids[0], grids[1]]
+    )(lambda ix: b_mat[ix])
+    zero = skil_fn(ops=1, vectorized=lambda grids, env: np.zeros(1))(lambda ix: 0.0)
+
+    start = ctx.machine.time
+    a = ctx.array_create(2, (n, n), (0, 0), (-1, -1), init_a, DISTR_TORUS2D)
+    b = ctx.array_create(2, (n, n), (0, 0), (-1, -1), init_b, DISTR_TORUS2D)
+    c = ctx.array_create(2, (n, n), (0, 0), (-1, -1), zero, DISTR_TORUS2D)
+    ctx.array_gen_mult(a, b, PLUS, TIMES, c)
+    out = c.global_view()
+    report = RunReport(
+        seconds=ctx.machine.time - start,
+        stats=ctx.machine.stats,
+        p=ctx.p,
+        n=n,
+        profile=ctx.profile.name,
+    )
+    for arr in (a, b, c):
+        ctx.array_destroy(arr)
+    return out, report

@@ -1,0 +1,64 @@
+"""Quicksort through the divide&conquer skeleton — the paper's §1 example.
+
+.. code-block:: haskell
+
+   quicksort lst = d&c is_simple ident divide concat lst
+
+``is_simple`` checks for empty/singleton lists, ``ident`` is the
+identity, ``divide`` splits around a pivot into (smaller, pivot,
+greater-or-equal), ``concat`` concatenates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.shortest_paths import RunReport
+from repro.skeletons import SkilContext, skil_fn
+
+__all__ = ["quicksort", "is_simple", "ident", "divide", "concat"]
+
+
+@skil_fn(ops=1)
+def is_simple(lst):
+    """True when the list is empty or a singleton."""
+    return len(lst) <= 1
+
+
+@skil_fn(ops=1)
+def ident(lst):
+    return lst
+
+
+@skil_fn(ops=1)
+def divide(lst):
+    """Split into elements smaller than the pivot, the pivot itself, and
+    the elements greater or equal (the paper's three-way divide)."""
+    pivot = lst[0]
+    return [
+        [x for x in lst[1:] if x < pivot],
+        [pivot],
+        [x for x in lst[1:] if x >= pivot],
+    ]
+
+
+@skil_fn(ops=1)
+def concat(parts):
+    out: list = []
+    for part in parts:
+        out.extend(part)
+    return out
+
+
+def quicksort(ctx: SkilContext, data: Sequence) -> tuple[list, RunReport]:
+    """Sort *data* with the d&c skeleton; returns (sorted list, report)."""
+    start = ctx.machine.time
+    result = ctx.divide_and_conquer(is_simple, ident, divide, concat, list(data))
+    report = RunReport(
+        seconds=ctx.machine.time - start,
+        stats=ctx.machine.stats,
+        p=ctx.p,
+        n=len(data),
+        profile=ctx.profile.name,
+    )
+    return result, report

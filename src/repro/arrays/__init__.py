@@ -1,0 +1,31 @@
+"""Distributed data structures: the ``pardata`` construct and the
+block-distributed array the paper's skeletons operate on."""
+
+from repro.arrays.darray import DistArray, default_grid
+from repro.arrays.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    Bounds,
+    CyclicDistribution,
+    Distribution,
+)
+from repro.arrays.pardata import (
+    GLOBAL_REGISTRY,
+    PardataDecl,
+    PardataInstance,
+    PardataRegistry,
+)
+
+__all__ = [
+    "DistArray",
+    "default_grid",
+    "Bounds",
+    "Distribution",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "BlockCyclicDistribution",
+    "PardataDecl",
+    "PardataInstance",
+    "PardataRegistry",
+    "GLOBAL_REGISTRY",
+]

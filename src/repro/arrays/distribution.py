@@ -1,0 +1,307 @@
+"""Distributions of index spaces onto processor grids.
+
+The paper's arrays are distributed **block-wise** ("At present, arrays can
+be distributed only block-wise onto processors"); cyclic and block-cyclic
+distributions are explicitly listed as future work, and we implement them
+too (DESIGN.md §5), together with ghost-cell *overlap* support for block
+distributions ("it should be possible to define overlapping areas for the
+single partitions").
+
+A distribution maps every global index to an owning processor, and every
+processor to the set of indices it owns.  For block(-cyclic)
+distributions the owned set per processor is a (strided) rectangle; the
+:class:`Bounds` object exposes it in both conventions:
+
+* ``lower`` / ``upper`` — Python style, upper exclusive;
+* ``lowerBd`` / ``upperBd`` — the paper's C style, both inclusive (this is
+  what ``array_part_bounds`` hands to Skil code like ``copy_pivot``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DistributionError
+
+__all__ = ["Bounds", "Distribution", "BlockDistribution", "CyclicDistribution",
+           "BlockCyclicDistribution"]
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Index bounds of one partition.
+
+    ``lower[d] <= i < upper[d]`` for every dimension *d*.  The inclusive
+    C-style accessors mirror the paper's ``Bounds`` struct.
+    """
+
+    lower: tuple[int, ...]
+    upper: tuple[int, ...]
+
+    @property
+    def lowerBd(self) -> tuple[int, ...]:
+        return self.lower
+
+    @property
+    def upperBd(self) -> tuple[int, ...]:
+        return tuple(u - 1 for u in self.upper)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(u - l for l, u in zip(self.lower, self.upper))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def contains(self, index: Sequence[int]) -> bool:
+        return all(l <= i < u for i, l, u in zip(index, self.lower, self.upper))
+
+    def localize(self, index: Sequence[int]) -> tuple[int, ...]:
+        """Translate a global index into partition-local coordinates."""
+        return tuple(i - l for i, l in zip(index, self.lower))
+
+
+def _as_shape(x, dim: int, what: str) -> tuple[int, ...]:
+    t = tuple(int(v) for v in (x if isinstance(x, (tuple, list, np.ndarray)) else (x,)))
+    if len(t) != dim:
+        raise DistributionError(f"{what} must have {dim} components, got {len(t)}")
+    return t
+
+
+class Distribution:
+    """Base class: maps global indices <-> (rank, local index)."""
+
+    def __init__(self, shape: Sequence[int], grid: Sequence[int]):
+        self.shape = tuple(int(s) for s in shape)
+        self.grid = tuple(int(g) for g in grid)
+        if len(self.shape) != len(self.grid):
+            raise DistributionError(
+                f"array rank {len(self.shape)} != grid rank {len(self.grid)}"
+            )
+        if any(s <= 0 for s in self.shape):
+            raise DistributionError(f"invalid array shape {self.shape}")
+        if any(g <= 0 for g in self.grid):
+            raise DistributionError(f"invalid grid shape {self.grid}")
+
+    @property
+    def dim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def p(self) -> int:
+        n = 1
+        for g in self.grid:
+            n *= g
+        return n
+
+    def grid_coords(self, rank: int) -> tuple[int, ...]:
+        if not (0 <= rank < self.p):
+            raise DistributionError(f"rank {rank} outside grid of {self.p}")
+        coords = []
+        for g in reversed(self.grid):
+            coords.append(rank % g)
+            rank //= g
+        return tuple(reversed(coords))
+
+    def grid_rank(self, coords: Sequence[int]) -> int:
+        r = 0
+        for c, g in zip(coords, self.grid):
+            if not (0 <= c < g):
+                raise DistributionError(f"grid coordinate {c} outside {g}")
+            r = r * g + c
+        return r
+
+    # -- to be provided by subclasses ---------------------------------------
+    def owner(self, index: Sequence[int]) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def bounds(self, rank: int) -> Bounds:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def local_shape(self, rank: int) -> tuple[int, ...]:
+        return self.bounds(rank).shape
+
+    def ranks(self) -> Iterator[int]:
+        return iter(range(self.p))
+
+
+class BlockDistribution(Distribution):
+    """Contiguous blocks, one per grid position (the paper's default).
+
+    When a dimension is not divisible by its grid extent, the leading
+    processors get one extra element each (the paper sidesteps this by
+    rounding the problem size up; the harness does the same, but the
+    library handles the general case).
+
+    Parameters
+    ----------
+    overlap:
+        Ghost-cell width per dimension (the future-work extension).  The
+        *owned* bounds never overlap; :meth:`halo_bounds` widens them by
+        the overlap, clipped to the array.
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        grid: Sequence[int],
+        overlap: Sequence[int] | int = 0,
+    ):
+        super().__init__(shape, grid)
+        self.overlap = _as_shape(overlap, self.dim, "overlap") if not isinstance(
+            overlap, int
+        ) else (overlap,) * self.dim
+        if any(o < 0 for o in self.overlap):
+            raise DistributionError(f"negative overlap {self.overlap}")
+        # per-dimension split points
+        self._splits: list[np.ndarray] = []
+        for n, g in zip(self.shape, self.grid):
+            base, extra = divmod(n, g)
+            sizes = [base + (1 if i < extra else 0) for i in range(g)]
+            if base == 0:
+                raise DistributionError(
+                    f"more grid positions ({g}) than elements ({n}) in one dimension"
+                )
+            self._splits.append(np.concatenate(([0], np.cumsum(sizes))))
+
+    def owner(self, index: Sequence[int]) -> int:
+        coords = []
+        for d, i in enumerate(index):
+            if not (0 <= i < self.shape[d]):
+                raise DistributionError(f"index {tuple(index)} outside {self.shape}")
+            coords.append(int(np.searchsorted(self._splits[d], i, side="right") - 1))
+        return self.grid_rank(coords)
+
+    def bounds(self, rank: int) -> Bounds:
+        coords = self.grid_coords(rank)
+        lower = tuple(int(self._splits[d][c]) for d, c in enumerate(coords))
+        upper = tuple(int(self._splits[d][c + 1]) for d, c in enumerate(coords))
+        return Bounds(lower, upper)
+
+    def halo_bounds(self, rank: int) -> Bounds:
+        """Owned bounds widened by the overlap, clipped to the array."""
+        b = self.bounds(rank)
+        lower = tuple(max(0, l - o) for l, o in zip(b.lower, self.overlap))
+        upper = tuple(
+            min(n, u + o) for n, u, o in zip(self.shape, b.upper, self.overlap)
+        )
+        return Bounds(lower, upper)
+
+    @classmethod
+    def from_pardata_args(
+        cls,
+        dim: int,
+        size,
+        blocksize,
+        lowerbd,
+        grid: Sequence[int],
+    ) -> "BlockDistribution":
+        """Implement the paper's ``array_create`` parameter conventions.
+
+        * a zero *blocksize* component → "fill in an appropriate value
+          depending on the network topology" (global size / grid);
+        * a negative *lowerbd* component → "derive the lower local bound
+          for this dimension".
+
+        Explicit non-default values must be consistent with an even block
+        split — anything else was not supported by the original system
+        either and raises :class:`DistributionError`.
+        """
+        size = _as_shape(size, dim, "size")
+        blocksize = _as_shape(blocksize, dim, "blocksize")
+        lowerbd = _as_shape(lowerbd, dim, "lowerbd")
+        grid = _as_shape(grid, dim, "grid")
+        for d in range(dim):
+            if blocksize[d] != 0:
+                expect = -(-size[d] // grid[d])  # ceil
+                if blocksize[d] != expect:
+                    raise DistributionError(
+                        f"explicit blocksize {blocksize[d]} in dimension {d} "
+                        f"conflicts with size {size[d]} on a grid of {grid[d]} "
+                        f"(expected {expect} or 0 for the default)"
+                    )
+            if lowerbd[d] >= 0 and lowerbd[d] != 0:
+                raise DistributionError(
+                    "only default (negative) lowerbd components are supported"
+                )
+        return cls(size, grid)
+
+
+class CyclicDistribution(Distribution):
+    """Round-robin distribution (future-work extension).
+
+    Element *i* of dimension *d* lives at grid coordinate ``i % grid[d]``.
+    Partitions are strided index sets, so :meth:`bounds` reports the
+    bounding box and :meth:`local_indices` the exact global indices per
+    dimension.
+    """
+
+    def owner(self, index: Sequence[int]) -> int:
+        coords = []
+        for d, i in enumerate(index):
+            if not (0 <= i < self.shape[d]):
+                raise DistributionError(f"index {tuple(index)} outside {self.shape}")
+            coords.append(i % self.grid[d])
+        return self.grid_rank(coords)
+
+    def local_indices(self, rank: int) -> tuple[np.ndarray, ...]:
+        coords = self.grid_coords(rank)
+        return tuple(
+            np.arange(c, n, g)
+            for c, n, g in zip(coords, self.shape, self.grid)
+        )
+
+    def bounds(self, rank: int) -> Bounds:
+        idx = self.local_indices(rank)
+        lower = tuple(int(a[0]) if len(a) else 0 for a in idx)
+        upper = tuple(int(a[-1]) + 1 if len(a) else 0 for a in idx)
+        return Bounds(lower, upper)
+
+    def local_shape(self, rank: int) -> tuple[int, ...]:
+        return tuple(len(a) for a in self.local_indices(rank))
+
+
+class BlockCyclicDistribution(Distribution):
+    """Blocks of a fixed size dealt round-robin (future-work extension)."""
+
+    def __init__(self, shape: Sequence[int], grid: Sequence[int], block: Sequence[int]):
+        super().__init__(shape, grid)
+        self.block = _as_shape(block, self.dim, "block")
+        if any(b <= 0 for b in self.block):
+            raise DistributionError(f"invalid block {self.block}")
+
+    def owner(self, index: Sequence[int]) -> int:
+        coords = []
+        for d, i in enumerate(index):
+            if not (0 <= i < self.shape[d]):
+                raise DistributionError(f"index {tuple(index)} outside {self.shape}")
+            coords.append((i // self.block[d]) % self.grid[d])
+        return self.grid_rank(coords)
+
+    def local_indices(self, rank: int) -> tuple[np.ndarray, ...]:
+        coords = self.grid_coords(rank)
+        out = []
+        for c, n, g, b in zip(coords, self.shape, self.grid, self.block):
+            idx = []
+            start = c * b
+            while start < n:
+                idx.extend(range(start, min(start + b, n)))
+                start += g * b
+            out.append(np.asarray(idx, dtype=np.intp))
+        return tuple(out)
+
+    def bounds(self, rank: int) -> Bounds:
+        idx = self.local_indices(rank)
+        lower = tuple(int(a[0]) if len(a) else 0 for a in idx)
+        upper = tuple(int(a[-1]) + 1 if len(a) else 0 for a in idx)
+        return Bounds(lower, upper)
+
+    def local_shape(self, rank: int) -> tuple[int, ...]:
+        return tuple(len(a) for a in self.local_indices(rank))

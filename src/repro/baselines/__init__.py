@@ -1,0 +1,15 @@
+"""The paper's comparators: hand-written Parix-C and the functional DPFL."""
+
+from repro.baselines.dpfl import dpfl_context, gauss_dpfl, matmul_dpfl, shpaths_dpfl
+from repro.baselines.parix_c import gauss_c, make_c_machine, matmul_c, shpaths_c
+
+__all__ = [
+    "shpaths_c",
+    "gauss_c",
+    "matmul_c",
+    "make_c_machine",
+    "dpfl_context",
+    "shpaths_dpfl",
+    "gauss_dpfl",
+    "matmul_dpfl",
+]

@@ -1,0 +1,48 @@
+"""The DPFL comparator — the data-parallel functional language of
+refs [7, 8], running "the same skeletons".
+
+DPFL programs are structurally identical to the Skil programs (that is
+the point of the comparison: same skeletons, different host language),
+so the baseline reuses the application drivers under the DPFL
+:class:`~repro.machine.costmodel.LanguageProfile`: boxed values and
+closure application per element, a sequential-efficiency factor, larger
+skeleton dispatch overhead, and no in-place update (``array_map`` pays
+for its temporary).  The knobs live in :mod:`repro.machine.costmodel`
+and are the explicit encoding of the paper's "our run-times are on the
+average 6 times faster than those of DPFL ... due both to the efficiency
+of imperative languages ... and to the implementation of the functional
+features".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.gauss import gauss_full, gauss_simple
+from repro.apps.matmul import matmul
+from repro.apps.shortest_paths import RunReport, shpaths
+from repro.machine.costmodel import DPFL, CostModel, T800_PARSYTEC
+from repro.machine.machine import Machine
+from repro.skeletons import SkilContext
+
+__all__ = ["dpfl_context", "shpaths_dpfl", "gauss_dpfl", "matmul_dpfl"]
+
+
+def dpfl_context(p: int, cost: CostModel = T800_PARSYTEC) -> SkilContext:
+    """A context whose skeleton costs follow the DPFL profile."""
+    return SkilContext(Machine(p, cost=cost), DPFL)
+
+
+def shpaths_dpfl(p: int, dist_matrix: np.ndarray) -> tuple[np.ndarray, RunReport]:
+    return shpaths(dpfl_context(p), dist_matrix)
+
+
+def gauss_dpfl(
+    p: int, a_mat: np.ndarray, rhs: np.ndarray, full: bool = False
+) -> tuple[np.ndarray, RunReport]:
+    driver = gauss_full if full else gauss_simple
+    return driver(dpfl_context(p), a_mat, rhs)
+
+
+def matmul_dpfl(p: int, a_mat: np.ndarray, b_mat: np.ndarray):
+    return matmul(dpfl_context(p), a_mat, b_mat)

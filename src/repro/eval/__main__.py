@@ -1,0 +1,113 @@
+"""Command-line entry point: regenerate the paper's tables and figure.
+
+Usage::
+
+   python -m repro.eval table1 [--scale 0.25]
+   python -m repro.eval table2 [--scale 0.25]
+   python -m repro.eval figure1 [--scale 0.25] [--csv]
+   python -m repro.eval ablations [--scale 0.25]
+   python -m repro.eval all [--scale 0.25]
+
+``--scale 1.0`` (the default) runs the paper's exact problem sizes —
+the Table 2 grid takes a few minutes of wall-clock time because the
+simulation really performs the numeric work; smaller scales shrink the
+matrices proportionally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.experiments import (
+    ablation_equal_c,
+    ablation_full_gauss,
+    ablation_instantiation,
+    ablation_sync_comm,
+    ablation_topology,
+    figure1,
+    table1,
+    table2,
+)
+from repro.eval.figures import format_figure1, series_csv
+from repro.eval.tables import format_ablation, format_table1, format_table2
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the evaluation of the Skil paper (HPDC '96).",
+    )
+    parser.add_argument(
+        "what",
+        choices=["table1", "table2", "figure1", "ablations", "all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="problem-size scale in (0, 1]; 1.0 = the paper's sizes",
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="emit figure series as CSV too"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write each artefact into DIR (table1.txt, table2.txt, "
+        "figure1.txt, figure1_*.csv, ablations.txt)",
+    )
+    args = parser.parse_args(argv)
+    if not (0 < args.scale <= 1.0):
+        parser.error("--scale must be in (0, 1]")
+
+    outdir = None
+    if args.out is not None:
+        from pathlib import Path
+
+        outdir = Path(args.out)
+        outdir.mkdir(parents=True, exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        print(text)
+        print()
+        if outdir is not None:
+            (outdir / name).write_text(text + "\n")
+
+    if args.what in ("table1", "all"):
+        emit("table1.txt", format_table1(table1(scale=args.scale)))
+    if args.what in ("table2", "figure1", "all"):
+        cells = table2(scale=args.scale)
+        if args.what in ("table2", "all"):
+            emit("table2.txt", format_table2(cells))
+        if args.what in ("figure1", "all"):
+            ups, downs = figure1(cells)
+            emit("figure1.txt", format_figure1(ups, downs))
+            if args.csv or outdir is not None:
+                up_csv = series_csv(ups, "speedup_vs_dpfl")
+                down_csv = series_csv(downs, "slowdown_vs_c")
+                if args.csv:
+                    print(up_csv)
+                    print(down_csv)
+                if outdir is not None:
+                    (outdir / "figure1_speedups.csv").write_text(up_csv + "\n")
+                    (outdir / "figure1_slowdowns.csv").write_text(down_csv + "\n")
+    if args.what in ("ablations", "all"):
+        texts = [
+            format_ablation(ab)
+            for ab in (
+                ablation_equal_c(scale=args.scale),
+                ablation_full_gauss(scale=args.scale),
+                ablation_instantiation(scale=args.scale),
+                ablation_topology(scale=args.scale),
+                ablation_sync_comm(scale=args.scale),
+            )
+        ]
+        emit("ablations.txt", "\n\n".join(texts))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

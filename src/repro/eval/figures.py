@@ -1,0 +1,83 @@
+"""Figure 1 rendering: ASCII scatter plots plus CSV series.
+
+The paper plots, for every matrix size, the speed-up of Skil relative to
+DPFL (left panel) and the slow-down relative to Parix-C (right panel)
+against the number of processors.  We render the same two panels as
+ASCII plots (one mark per series) and can emit the raw series as CSV so
+any plotting tool can regenerate the figure.
+"""
+
+from __future__ import annotations
+
+import io
+
+__all__ = ["ascii_plot", "series_csv", "format_figure1"]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: dict[int, list[tuple[int, float]]],
+    title: str,
+    width: int = 64,
+    height: int = 18,
+    y_max: float | None = None,
+) -> str:
+    """Plot ratio-vs-processors series as ASCII art.
+
+    *series* maps a label (matrix size n) to ``(p, ratio)`` points.
+    """
+    pts = [pt for s in series.values() for pt in s]
+    if not pts:
+        return f"{title}\n(no data)"
+    x_min = min(p for p, _ in pts)
+    x_max = max(p for p, _ in pts)
+    if y_max is None:
+        y_max = max(v for _, v in pts) * 1.1
+    y_min = 0.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        if x_max == x_min:
+            return 0
+        return min(width - 1, int((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(height - 1, max(0, height - 1 - int(frac * (height - 1))))
+
+    legend = []
+    for i, (label, points) in enumerate(sorted(series.items())):
+        mark = _MARKS[i % len(_MARKS)]
+        legend.append(f"{mark} n={label}")
+        for p, v in points:
+            grid[to_row(v)][to_col(p)] = mark
+
+    out = io.StringIO()
+    out.write(title + "\n")
+    for r, row in enumerate(grid):
+        y_val = y_max - (y_max - y_min) * r / (height - 1)
+        out.write(f"{y_val:>6.1f} |" + "".join(row) + "\n")
+    out.write(" " * 7 + "+" + "-" * width + "\n")
+    out.write(" " * 8 + f"{x_min:<10}{'processors':^44}{x_max:>10}\n")
+    out.write("legend: " + "   ".join(legend) + "\n")
+    return out.getvalue()
+
+
+def series_csv(series: dict[int, list[tuple[int, float]]], value_name: str) -> str:
+    """Emit the series as CSV: n, p, <value_name>."""
+    lines = [f"n,p,{value_name}"]
+    for n in sorted(series):
+        for p, v in series[n]:
+            lines.append(f"{n},{p},{v:.4f}")
+    return "\n".join(lines)
+
+
+def format_figure1(speedups, slowdowns) -> str:
+    left = ascii_plot(
+        speedups, "Figure 1 (left): relative speed-ups Skil vs. DPFL"
+    )
+    right = ascii_plot(
+        slowdowns, "Figure 1 (right): relative slow-downs Skil vs. Parix-C"
+    )
+    return left + "\n" + right

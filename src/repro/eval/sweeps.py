@@ -1,0 +1,104 @@
+"""Parameter-sweep utilities: scaling studies over the simulated machine.
+
+The paper's evaluation is two fixed grids; a library user also wants the
+classic derived studies, so these are provided (and tested) as part of
+the harness:
+
+* **strong scaling** — fixed problem, growing machine: speed-up and
+  parallel efficiency per processor count;
+* **weak scaling** — fixed work per processor, growing machine;
+* **crossover search** — smallest problem size at which one backend
+  overtakes another (e.g. where Skil's overhead stops mattering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = [
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+    "crossover_size",
+    "format_scaling",
+]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    p: int
+    n: int
+    seconds: float
+    speedup: float
+    efficiency: float
+
+
+def strong_scaling(
+    run: Callable[[int, int], float],
+    n: int,
+    ps: Sequence[int],
+) -> list[ScalingPoint]:
+    """Fixed *n*, varying processor counts.
+
+    *run(p, n)* returns simulated seconds; the first entry of *ps* is
+    the baseline for speed-up (use 1 for absolute speed-up).
+    """
+    base_p = ps[0]
+    base_t = run(base_p, n)
+    out = [ScalingPoint(base_p, n, base_t, 1.0, 1.0)]
+    for p in ps[1:]:
+        t = run(p, n)
+        speedup = base_t / t
+        out.append(
+            ScalingPoint(p, n, t, speedup, speedup / (p / base_p))
+        )
+    return out
+
+
+def weak_scaling(
+    run: Callable[[int, int], float],
+    n_per_proc: int,
+    ps: Sequence[int],
+    n_of: Callable[[int, int], int] | None = None,
+) -> list[ScalingPoint]:
+    """Fixed work per processor; ideal is constant time.
+
+    *n_of(p, n_per_proc)* derives the global problem size (defaults to
+    ``p * n_per_proc``); efficiency is ``t(base) / t(p)``.
+    """
+    if n_of is None:
+        n_of = lambda p, k: p * k  # noqa: E731
+    base_p = ps[0]
+    base_n = n_of(base_p, n_per_proc)
+    base_t = run(base_p, base_n)
+    out = [ScalingPoint(base_p, base_n, base_t, 1.0, 1.0)]
+    for p in ps[1:]:
+        n = n_of(p, n_per_proc)
+        t = run(p, n)
+        out.append(ScalingPoint(p, n, t, base_t / t, base_t / t))
+    return out
+
+
+def crossover_size(
+    run_a: Callable[[int], float],
+    run_b: Callable[[int], float],
+    sizes: Sequence[int],
+) -> int | None:
+    """Smallest size in *sizes* from which ``run_a`` is at least as fast
+    as ``run_b`` (both take the problem size).  None if never."""
+    for n in sizes:
+        if run_a(n) <= run_b(n):
+            return n
+    return None
+
+
+def format_scaling(points: list[ScalingPoint], title: str) -> str:
+    out = [title,
+           f"{'p':>6}{'n':>8}{'time [s]':>12}{'speedup':>10}{'efficiency':>12}"]
+    for pt in points:
+        out.append(
+            f"{pt.p:>6}{pt.n:>8}{pt.seconds:>12.3f}{pt.speedup:>10.2f}"
+            f"{pt.efficiency:>12.0%}"
+        )
+    return "\n".join(out)

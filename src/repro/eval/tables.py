@@ -1,0 +1,71 @@
+"""Text rendering of the reproduced tables, in the paper's layout."""
+
+from __future__ import annotations
+
+import math
+
+from repro.eval.experiments import Table1Row, Table2Cell
+
+__all__ = ["format_table1", "format_table2", "format_ablation"]
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render Table 1: run-time results for the shortest paths program.
+
+    Columns as in the paper: grid, DPFL absolute, Skil absolute, Skil
+    speed-up relative to DPFL, and the old message-passing C.
+    """
+    out = [
+        "Table 1. Run-time results for the shortest paths program",
+        f"{'grid':>6} {'n':>5} {'DPFL [s]':>10} {'Skil [s]':>10} "
+        f"{'DPFL/Skil':>10} {'Parix-C [s]':>12} {'Skil/C':>8}",
+    ]
+    for r in rows:
+        g = int(math.isqrt(r.p))
+        out.append(
+            f"{g}x{g:<4} {r.n:>5} {r.dpfl_seconds:>10.2f} {r.skil_seconds:>10.2f} "
+            f"{r.speedup_vs_dpfl:>10.2f} {r.c_old_seconds:>12.2f} "
+            f"{r.ratio_vs_c_old:>8.2f}"
+        )
+    return "\n".join(out)
+
+
+def format_table2(cells: list[Table2Cell]) -> str:
+    """Render Table 2 in the paper's 3-line-per-grid layout.
+
+    Per (grid, n) cell: Skil absolute seconds (bold in the paper), the
+    quotient DPFL/Skil (roman) and the quotient Skil/Parix-C (italics);
+    '-' marks configurations that did not fit the 1 MB nodes (as the
+    paper's missing DPFL entries for large matrices on small networks).
+    """
+    def label(c) -> int:
+        return c.n_nominal or c.n
+
+    ps = sorted({c.p for c in cells})
+    ns = sorted({label(c) for c in cells})
+    grid = {(c.p, label(c)): c for c in cells}
+    name = {4: "2x2", 16: "4x4", 32: "8x4", 64: "8x8"}
+
+    header = f"{'p':>6} {'':>12}" + "".join(f"{n:>10}" for n in ns)
+    out = ["Table 2. Run-time results for Gaussian elimination", header]
+    for p in ps:
+        abs_row = [f"{name.get(p, p):>6} {'Skil [s]':>12}"]
+        dpfl_row = [f"{'':>6} {'DPFL/Skil':>12}"]
+        c_row = [f"{'':>6} {'Skil/C':>12}"]
+        for n in ns:
+            c = grid[(p, n)]
+            abs_row.append(f"{c.skil_seconds:>10.2f}")
+            ratio = c.dpfl_over_skil
+            dpfl_row.append(f"{ratio:>10.2f}" if ratio is not None else f"{'-':>10}")
+            c_row.append(f"{c.skil_over_c:>10.2f}")
+        out.extend(["".join(abs_row), "".join(dpfl_row), "".join(c_row)])
+    return "\n".join(out)
+
+
+def format_ablation(res) -> str:
+    return (
+        f"[{res.name}] {res.description}\n"
+        f"  measured ratio: {res.measured_ratio:.2f}   "
+        f"paper: ~{res.paper_ratio:.1f}\n"
+        f"  details: {res.details}"
+    )

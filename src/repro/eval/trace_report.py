@@ -1,0 +1,80 @@
+"""Per-run cost breakdowns: where did the simulated time go?
+
+The paper explains its efficiency cliffs narratively ("the communication
+overhead gains more importance, leading to a drop of efficiency" for
+small partitions on large networks); this module makes the same analysis
+quantitative from the trace statistics: compute vs communication vs idle
+share per run, message/byte counts, and a comparison table across
+languages or configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.trace import TraceStats
+
+__all__ = ["CostBreakdown", "breakdown", "format_breakdowns"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Aggregated shares of one run.
+
+    Shares are fractions of total processor-seconds (compute + comm +
+    idle), so they compare across configurations with different p.
+    """
+
+    label: str
+    makespan: float
+    compute_seconds: float
+    comm_seconds: float
+    idle_seconds: float
+    messages: int
+    bytes_sent: int
+    skeleton_calls: int
+
+    @property
+    def busy_total(self) -> float:
+        return self.compute_seconds + self.comm_seconds + self.idle_seconds
+
+    @property
+    def compute_share(self) -> float:
+        return self.compute_seconds / self.busy_total if self.busy_total else 0.0
+
+    @property
+    def comm_share(self) -> float:
+        return self.comm_seconds / self.busy_total if self.busy_total else 0.0
+
+    @property
+    def idle_share(self) -> float:
+        return self.idle_seconds / self.busy_total if self.busy_total else 0.0
+
+
+def breakdown(label: str, makespan: float, stats: TraceStats) -> CostBreakdown:
+    """Summarise one finished run."""
+    return CostBreakdown(
+        label=label,
+        makespan=makespan,
+        compute_seconds=stats.compute_seconds,
+        comm_seconds=stats.comm_seconds,
+        idle_seconds=float(stats.idle_seconds),
+        messages=stats.messages,
+        bytes_sent=stats.bytes_sent,
+        skeleton_calls=stats.skeleton_calls,
+    )
+
+
+def format_breakdowns(rows: list[CostBreakdown]) -> str:
+    """Render a comparison table of several runs."""
+    out = [
+        f"{'run':<24}{'time [s]':>10}{'compute':>9}{'comm':>7}{'idle':>7}"
+        f"{'msgs':>8}{'MB sent':>9}"
+    ]
+    for r in rows:
+        out.append(
+            f"{r.label:<24}{r.makespan:>10.3f}"
+            f"{r.compute_share:>8.0%}{r.comm_share:>7.0%}{r.idle_share:>7.0%}"
+            f"{r.messages:>8}{r.bytes_sent / 1e6:>9.2f}"
+        )
+    return "\n".join(out)

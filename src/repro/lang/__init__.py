@@ -1,0 +1,25 @@
+"""The Skil language front end: lexer, parser, polymorphic type checker,
+translation by instantiation, and Python code generation."""
+
+from repro.lang.compiler import SkilModule, compile_skil, compile_skil_file
+from repro.lang.instantiate import (
+    MAX_INSTANCES_PER_FUNCTION,
+    InstantiatedProgram,
+    instantiate_program,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.typecheck import CheckedProgram, check
+
+__all__ = [
+    "compile_skil",
+    "compile_skil_file",
+    "SkilModule",
+    "parse",
+    "tokenize",
+    "check",
+    "CheckedProgram",
+    "instantiate_program",
+    "InstantiatedProgram",
+    "MAX_INSTANCES_PER_FUNCTION",
+]

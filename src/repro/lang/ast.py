@@ -1,0 +1,257 @@
+"""Abstract syntax tree of the Skil subset.
+
+Nodes carry a ``ty`` slot filled in by the type checker and used by the
+instantiation pass and the code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lang.types import Type
+
+__all__ = [
+    "Node",
+    "Expr",
+    "Stmt",
+    "Program",
+    "TypedefDecl",
+    "StructDecl",
+    "PardataHeader",
+    "FuncParam",
+    "FuncDecl",
+    "FuncDef",
+    "VarDecl",
+    "Block",
+    "If",
+    "While",
+    "For",
+    "Return",
+    "ExprStmt",
+    "IntLit",
+    "FloatLit",
+    "StringLit",
+    "CharLit",
+    "Ident",
+    "Call",
+    "BinOp",
+    "UnOp",
+    "Assign",
+    "IndexExpr",
+    "Member",
+    "Cond",
+    "OperatorSection",
+    "BraceList",
+    "Cast",
+]
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# --------------------------------------------------------------------------- types
+@dataclass
+class Expr(Node):
+    ty: Optional[Type] = field(default=None, kw_only=True)
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+# --------------------------------------------------------------------------- decls
+@dataclass
+class TypedefDecl(Node):
+    name: str
+    type_params: tuple[str, ...]
+    target: Type
+
+
+@dataclass
+class StructDecl(Node):
+    name: str
+    type_params: tuple[str, ...]
+    fields: tuple[tuple[str, Type], ...]
+
+
+@dataclass
+class PardataHeader(Node):
+    """``pardata name <$t1,...> [implem] ;`` — implementation hidden."""
+
+    name: str
+    type_params: tuple[str, ...]
+    has_implem: bool = False
+
+
+@dataclass
+class FuncParam(Node):
+    name: str
+    ty: Type
+
+
+@dataclass
+class FuncDecl(Node):
+    """Prototype — used for externals (host-supplied functions)."""
+
+    name: str
+    params: tuple[FuncParam, ...]
+    ret: Type
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    params: tuple[FuncParam, ...]
+    ret: Type
+    body: "Block"
+
+
+@dataclass
+class Program(Node):
+    decls: list[Node] = field(default_factory=list)
+
+    def functions(self) -> dict[str, FuncDef]:
+        return {d.name: d for d in self.decls if isinstance(d, FuncDef)}
+
+
+# --------------------------------------------------------------------------- stmts
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    ty: Type
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    orelse: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+# --------------------------------------------------------------------------- exprs
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class CharLit(Expr):
+    value: str = "\0"
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Call(Expr):
+    func: Expr = None  # type: ignore[assignment]
+    args: list[Expr] = field(default_factory=list)
+    #: filled by the checker: True when fewer arguments than parameters
+    #: were supplied and the call is a partial application
+    partial: bool = False
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+    op: str = "="  # =, +=, -=, ...
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Member(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    name: str = ""
+    arrow: bool = False  # True for '->'
+
+
+@dataclass
+class Cond(Expr):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    orelse: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class OperatorSection(Expr):
+    """``(+)``, ``(*)`` ... — an operator converted to a function."""
+
+    op: str = ""
+
+
+@dataclass
+class BraceList(Expr):
+    """``{a, b}`` — the paper's pseudo-code Index/Size literal."""
+
+    items: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Cast(Expr):
+    target: Type = None  # type: ignore[assignment]
+    operand: Expr = None  # type: ignore[assignment]

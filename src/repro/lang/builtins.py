@@ -1,0 +1,127 @@
+"""Builtin signatures visible to Skil programs.
+
+These are the "headers" of the skeleton library (§3), the array access
+macros, the ``DISTR_*`` constants and a couple of C stdlib helpers the
+sample programs use.  Each entry is a polymorphic type *scheme*: its
+type variables are instantiated freshly at every use site.
+"""
+
+from __future__ import annotations
+
+from repro.lang.types import (
+    BOUNDS,
+    DOUBLE,
+    INDEX,
+    INT,
+    SIZE,
+    STRING,
+    VOID,
+    TFun,
+    TPardata,
+    TVar,
+    Type,
+)
+
+__all__ = ["BUILTIN_FUNCTIONS", "BUILTIN_VALUES", "array_of"]
+
+
+def array_of(t: Type) -> TPardata:
+    return TPardata("array", (t,))
+
+
+_T = TVar("$t")
+_T1 = TVar("$t1")
+_T2 = TVar("$t2")
+_A = TVar("$a")
+
+#: name -> type scheme (TFun); all are first-class and can be passed around
+BUILTIN_FUNCTIONS: dict[str, TFun] = {
+    # -- skeletons (§3) ------------------------------------------------------
+    "array_create": TFun(
+        (INT, SIZE, SIZE, INDEX, TFun((INDEX,), _T), INT), array_of(_T)
+    ),
+    "array_destroy": TFun((array_of(_T),), VOID),
+    "array_map": TFun(
+        (TFun((_T1, INDEX), _T2), array_of(_T1), array_of(_T2)), VOID
+    ),
+    "array_fold": TFun(
+        (TFun((_T1, INDEX), _T2), TFun((_T2, _T2), _T2), array_of(_T1)), _T2
+    ),
+    "array_copy": TFun((array_of(_T), array_of(_T)), VOID),
+    "array_broadcast_part": TFun((array_of(_T), INDEX), VOID),
+    "array_permute_rows": TFun(
+        (array_of(_T), TFun((INT,), INT), array_of(_T)), VOID
+    ),
+    "array_gen_mult": TFun(
+        (
+            array_of(_T),
+            array_of(_T),
+            TFun((_T, _T), _T),
+            TFun((_T, _T), _T),
+            array_of(_T),
+        ),
+        VOID,
+    ),
+    # -- extension skeletons (future work, DESIGN.md §5) -----------------------
+    "array_zip": TFun(
+        (
+            TFun((_T1, _T2, INDEX), TVar("$t3")),
+            array_of(_T1),
+            array_of(_T2),
+            array_of(TVar("$t3")),
+        ),
+        VOID,
+    ),
+    "array_scan": TFun(
+        (TFun((_T, _T), _T), array_of(_T), array_of(_T)), VOID
+    ),
+    # -- access macros -------------------------------------------------------
+    "array_part_bounds": TFun((array_of(_T),), BOUNDS),
+    "array_get_elem": TFun((array_of(_T), INDEX), _T),
+    "array_put_elem": TFun((array_of(_T), INDEX, _T), VOID),
+    # -- named generic operators used as arguments (§4.1) ---------------------
+    "min": TFun((_A, _A), _A),
+    "max": TFun((_A, _A), _A),
+    # -- host helpers ----------------------------------------------------------
+    "log2": TFun((INT,), INT),
+    "abs": TFun((_A,), _A),
+    "sqrt": TFun((DOUBLE,), DOUBLE),
+    "error": TFun((STRING,), VOID),
+    "printf": TFun((STRING,), VOID),
+}
+
+#: constants: name -> type
+BUILTIN_VALUES: dict[str, Type] = {
+    "DISTR_DEFAULT": INT,
+    "DISTR_RING": INT,
+    "DISTR_TORUS2D": INT,
+    "procId": INT,
+    "nProcs": INT,
+    "INT_MAX": INT,
+    "UINT_MAX": INT,
+    "FLT_MAX": DOUBLE,
+}
+
+#: builtins whose functional arguments the instantiation pass must
+#: materialise as first-order kernels (the skeleton set)
+SKELETON_NAMES = frozenset(
+    {
+        "array_create",
+        "array_map",
+        "array_fold",
+        "array_permute_rows",
+        "array_gen_mult",
+        "array_zip",
+        "array_scan",
+    }
+)
+
+#: how many trailing element-value parameters a kernel in this builtin
+#: argument position has (before its Index parameter) — used by the
+#: vectorizer to bind partition blocks
+KERNEL_KINDS: dict[tuple[str, int], int] = {
+    ("array_create", 4): 0,
+    ("array_map", 0): 1,
+    ("array_fold", 0): 1,
+    ("array_zip", 0): 2,
+}

@@ -1,0 +1,207 @@
+"""Pretty-printer: AST back to Skil surface syntax.
+
+Two uses:
+
+* ``SkilModule.dump_instances()`` renders the *instantiated* program as
+  Skil/C text — the human-readable counterpart of the paper's §2.4
+  example, where the reader can see ``above_thresh`` inlined into
+  ``array_map_1`` with the threshold lifted;
+* round-trip property tests: ``parse(print(parse(src)))`` must agree
+  with ``parse(src)``, which pins down printer and parser against each
+  other.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.lang import ast as A
+from repro.lang.instantiate import KernelRef, SectionRef
+from repro.lang.types import TArray, TFun, TPardata, TPointer, TPrim, TStruct, Type, TVar
+
+__all__ = ["print_program", "print_function", "print_type"]
+
+
+def print_type(t: Type) -> str:
+    if isinstance(t, TPrim):
+        return t.name
+    if isinstance(t, TVar):
+        return t.name
+    if isinstance(t, TPointer):
+        return f"{print_type(t.target)} *"
+    if isinstance(t, TArray):
+        return f"{print_type(t.elem)}[{t.size if t.size is not None else ''}]"
+    if isinstance(t, TStruct):
+        return f"struct {t.name}"
+    if isinstance(t, TPardata):
+        if t.args:
+            return f"{t.name}<{', '.join(print_type(a) for a in t.args)}>"
+        return t.name
+    if isinstance(t, TFun):
+        # only usable in parameter position; callers handle that case
+        ps = ", ".join(print_type(p) for p in t.params)
+        return f"{print_type(t.ret)} (*)({ps})"
+    return "?"
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.buf = io.StringIO()
+        self.indent = 0
+
+    def line(self, text: str = "") -> None:
+        self.buf.write("  " * self.indent + text + "\n")
+
+    # ------------------------------------------------------------------ decls
+    def program(self, prog: A.Program) -> str:
+        for d in prog.decls:
+            self.decl(d)
+            self.line()
+        return self.buf.getvalue()
+
+    def decl(self, d: A.Node) -> None:
+        if isinstance(d, A.StructDecl):
+            self.line(f"struct {d.name} {{")
+            self.indent += 1
+            for fname, ftype in d.fields:
+                self.line(f"{print_type(ftype)} {fname};")
+            self.indent -= 1
+            self.line("};")
+        elif isinstance(d, A.TypedefDecl):
+            params = f"<{', '.join(d.type_params)}>" if d.type_params else ""
+            self.line(f"typedef {print_type(d.target)} {d.name}{params};")
+        elif isinstance(d, A.PardataHeader):
+            params = f"<{', '.join(d.type_params)}>" if d.type_params else ""
+            self.line(f"pardata {d.name} {params};")
+        elif isinstance(d, A.FuncDecl):
+            self.line(f"{print_type(d.ret)} {d.name} ({self._params(d.params)});")
+        elif isinstance(d, A.FuncDef):
+            self.function(d)
+        else:
+            self.line(f"/* unprintable decl {type(d).__name__} */")
+
+    def _params(self, params) -> str:
+        out = []
+        for p in params:
+            if isinstance(p.ty, TFun):
+                inner = ", ".join(print_type(q) for q in p.ty.params)
+                out.append(f"{print_type(p.ty.ret)} {p.name} ({inner})")
+            else:
+                out.append(f"{print_type(p.ty)} {p.name}".strip())
+        return ", ".join(out)
+
+    def function(self, f: A.FuncDef) -> None:
+        self.line(f"{print_type(f.ret)} {f.name} ({self._params(f.params)})")
+        self.block(f.body)
+
+    # ------------------------------------------------------------------ stmts
+    def block(self, b: A.Block) -> None:
+        self.line("{")
+        self.indent += 1
+        for s in b.stmts:
+            self.stmt(s)
+        self.indent -= 1
+        self.line("}")
+
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Block):
+            self.block(s)
+        elif isinstance(s, A.VarDecl):
+            init = f" = {self.expr(s.init)}" if s.init is not None else ""
+            self.line(f"{print_type(s.ty)} {s.name}{init};")
+        elif isinstance(s, A.If):
+            self.line(f"if ({self.expr(s.cond)})")
+            self._substmt(s.then)
+            if s.orelse is not None:
+                self.line("else")
+                self._substmt(s.orelse)
+        elif isinstance(s, A.While):
+            self.line(f"while ({self.expr(s.cond)})")
+            self._substmt(s.body)
+        elif isinstance(s, A.For):
+            init = ""
+            if isinstance(s.init, A.ExprStmt):
+                init = self.expr(s.init.expr)
+            elif isinstance(s.init, A.VarDecl):
+                ini = f" = {self.expr(s.init.init)}" if s.init.init else ""
+                init = f"{print_type(s.init.ty)} {s.init.name}{ini}"
+            cond = self.expr(s.cond) if s.cond is not None else ""
+            step = self.expr(s.step) if s.step is not None else ""
+            self.line(f"for ({init} ; {cond} ; {step})")
+            self._substmt(s.body)
+        elif isinstance(s, A.Return):
+            if s.value is None:
+                self.line("return;")
+            else:
+                self.line(f"return {self.expr(s.value)};")
+        elif isinstance(s, A.ExprStmt):
+            self.line(f"{self.expr(s.expr)};")
+        else:
+            self.line(f"/* unprintable stmt {type(s).__name__} */")
+
+    def _substmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Block):
+            self.block(s)
+        else:
+            self.indent += 1
+            self.stmt(s)
+            self.indent -= 1
+
+    # ------------------------------------------------------------------ exprs
+    def expr(self, e: A.Expr) -> str:
+        if isinstance(e, A.IntLit):
+            return str(e.value)
+        if isinstance(e, A.FloatLit):
+            return repr(e.value)
+        if isinstance(e, A.StringLit):
+            escaped = e.value.replace("\\", "\\\\").replace('"', '\\"')
+            escaped = escaped.replace("\n", "\\n")
+            return f'"{escaped}"'
+        if isinstance(e, A.CharLit):
+            return f"'{e.value}'"
+        if isinstance(e, A.Ident):
+            return e.name
+        if isinstance(e, A.OperatorSection):
+            return f"({e.op})"
+        if isinstance(e, SectionRef):
+            return f"({e.op})"
+        if isinstance(e, KernelRef):
+            if e.bound:
+                return f"{e.name} ({', '.join(self.expr(b) for b in e.bound)})"
+            return e.name
+        if isinstance(e, A.Call):
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"{self.expr(e.func)} ({args})"
+        if isinstance(e, A.BinOp):
+            return f"({self.expr(e.left)} {e.op} {self.expr(e.right)})"
+        if isinstance(e, A.UnOp):
+            return f"({e.op}{self.expr(e.operand)})"
+        if isinstance(e, A.Assign):
+            return f"{self.expr(e.target)} {e.op} {self.expr(e.value)}"
+        if isinstance(e, A.IndexExpr):
+            return f"{self.expr(e.base)}[{self.expr(e.index)}]"
+        if isinstance(e, A.Member):
+            op = "->" if e.arrow else "."
+            return f"{self.expr(e.base)}{op}{e.name}"
+        if isinstance(e, A.Cond):
+            return (
+                f"({self.expr(e.cond)} ? {self.expr(e.then)} : "
+                f"{self.expr(e.orelse)})"
+            )
+        if isinstance(e, A.BraceList):
+            return "{" + ", ".join(self.expr(x) for x in e.items) + "}"
+        if isinstance(e, A.Cast):
+            return f"(({print_type(e.target)}) {self.expr(e.operand)})"
+        return f"/* unprintable {type(e).__name__} */"
+
+
+def print_program(prog: A.Program) -> str:
+    """Render a whole program as Skil surface syntax."""
+    return _Printer().program(prog)
+
+
+def print_function(f: A.FuncDef) -> str:
+    """Render a single function definition."""
+    p = _Printer()
+    p.function(f)
+    return p.buf.getvalue()

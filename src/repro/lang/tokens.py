@@ -1,0 +1,111 @@
+"""Token definitions for the Skil front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["TokKind", "Token", "KEYWORDS", "PUNCT"]
+
+
+class TokKind(Enum):
+    IDENT = auto()
+    TYPEVAR = auto()  # $t
+    KEYWORD = auto()
+    INT = auto()
+    FLOAT = auto()
+    STRING = auto()
+    CHAR = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+#: reserved words of the C subset plus the Skil extensions
+KEYWORDS = frozenset(
+    {
+        "int",
+        "unsigned",
+        "float",
+        "double",
+        "char",
+        "void",
+        "struct",
+        "union",
+        "typedef",
+        "pardata",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+    }
+)
+
+#: multi-character punctuation, longest first so the lexer can greedily match
+PUNCT = (
+    "<<=",
+    ">>=",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "?",
+    ":",
+    "~",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+    column: int
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.text in texts
+
+    def is_keyword(self, *texts: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text in texts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

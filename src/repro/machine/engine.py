@@ -1,0 +1,325 @@
+"""Discrete-event engine for arbitrary SPMD programs on the machine.
+
+While the skeletons use the fast analytic clock arithmetic of
+:mod:`repro.machine.network`, some things need *message-granularity*
+simulation: the task-parallel divide&conquer skeleton, hand-written
+message-passing programs used in tests, and the consistency checks that
+validate the analytic layer.
+
+Each simulated processor is a Python **generator** that yields requests
+to the engine and is resumed when they complete:
+
+``yield Compute(seconds)``
+    advance this processor's local clock by *seconds*.
+
+``yield Send(dst, payload, nbytes, tag)``
+    synchronous (rendezvous) send: blocks until the matching receive is
+    posted and the transfer has crossed all hardware hops.
+
+``yield ISend(dst, payload, nbytes, tag)``
+    asynchronous send: the processor continues after paying the software
+    setup; the message arrives later.
+
+``payload = yield Recv(src, tag)``
+    blocks until a matching message (FIFO per (src, tag) channel) has
+    arrived; evaluates to its payload.
+
+The engine detects deadlock (no runnable process but blocked processes
+remain) and reports the blocked ranks — the paper's motivation section
+lists exactly this class of bug as what skeletons shield users from.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import DeadlockError, MachineError
+from repro.machine.costmodel import CostModel
+from repro.machine.topology import VirtualTopology
+from repro.machine.trace import TraceStats
+
+__all__ = ["Compute", "Send", "ISend", "Recv", "Engine", "run_spmd", "ANY_SOURCE"]
+
+#: wildcard for ``Recv.src``: match the earliest message with the tag
+#: from any sender (MPI_ANY_SOURCE; Parix had the same facility)
+ANY_SOURCE = -1
+
+
+@dataclass(frozen=True)
+class Compute:
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Send:
+    dst: int
+    payload: Any = None
+    nbytes: int = 0
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class ISend:
+    dst: int
+    payload: Any = None
+    nbytes: int = 0
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class Recv:
+    src: int  #: sender rank, or ANY_SOURCE for a wildcard receive
+    tag: str = ""
+
+
+@dataclass
+class _Proc:
+    rank: int
+    gen: Generator
+    clock: float = 0.0
+    blocked: bool = False
+    done: bool = False
+
+
+@dataclass
+class _AsyncMsg:
+    arrival: float
+    payload: Any
+
+
+@dataclass
+class _PendingSend:
+    """A synchronous sender waiting for its receiver."""
+
+    src: int
+    ready: float  # sender clock when it posted the send
+    payload: Any
+    nbytes: int
+
+
+class Engine:
+    """Event-driven simulator over a virtual topology."""
+
+    def __init__(
+        self,
+        cost: CostModel,
+        topo: VirtualTopology,
+        stats: TraceStats | None = None,
+    ):
+        self.cost = cost
+        self.topo = topo
+        self.stats = stats if stats is not None else TraceStats()
+        self._procs: dict[int, _Proc] = {}
+        self._ready: list[tuple[float, int, int, Any]] = []  # (time, seq, rank, value)
+        self._seq = itertools.count()
+        # mailboxes for async messages and rendezvous bookkeeping,
+        # keyed by (dst, src, tag)
+        self._mail: dict[tuple[int, int, str], deque[_AsyncMsg]] = defaultdict(deque)
+        self._pending_sends: dict[tuple[int, int, str], deque[_PendingSend]] = (
+            defaultdict(deque)
+        )
+        self._pending_recvs: dict[tuple[int, int, str], deque[float]] = defaultdict(
+            deque
+        )
+        self._recv_waiters: dict[tuple[int, int, str], deque[int]] = defaultdict(deque)
+        # wildcard (ANY_SOURCE) receives, keyed by (dst, tag):
+        # queue of (waiter_rank, post_time)
+        self._any_waiters: dict[tuple[int, str], deque[tuple[int, float]]] = (
+            defaultdict(deque)
+        )
+
+    # ------------------------------------------------------------------ setup
+    def spawn(self, rank: int, gen: Generator) -> None:
+        if not (0 <= rank < self.topo.p):
+            raise MachineError(f"rank {rank} outside machine of {self.topo.p}")
+        if rank in self._procs:
+            raise MachineError(f"rank {rank} already has a process")
+        self._procs[rank] = _Proc(rank, gen)
+        self._push(0.0, rank, None)
+
+    def _push(self, time: float, rank: int, value: Any) -> None:
+        heapq.heappush(self._ready, (time, next(self._seq), rank, value))
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> float:
+        """Run to completion; returns the makespan (max final clock)."""
+        while self._ready:
+            time, _, rank, value = heapq.heappop(self._ready)
+            proc = self._procs[rank]
+            proc.clock = max(proc.clock, time)
+            proc.blocked = False
+            try:
+                req = proc.gen.send(value)
+            except StopIteration:
+                proc.done = True
+                continue
+            self._handle(proc, req)
+        blocked = [p.rank for p in self._procs.values() if not p.done]
+        if blocked:
+            raise DeadlockError(f"deadlock: ranks {blocked} blocked forever")
+        return max((p.clock for p in self._procs.values()), default=0.0)
+
+    # ------------------------------------------------------------------ dispatch
+    def _handle(self, proc: _Proc, req: Any) -> None:
+        if isinstance(req, Compute):
+            self.stats.compute_seconds += req.seconds
+            self._push(proc.clock + req.seconds, proc.rank, None)
+        elif isinstance(req, ISend):
+            self._isend(proc, req)
+        elif isinstance(req, Send):
+            self._send(proc, req)
+        elif isinstance(req, Recv):
+            self._recv(proc, req)
+        else:
+            raise MachineError(f"rank {proc.rank} yielded unknown request {req!r}")
+
+    def _wire(self, src: int, dst: int, nbytes: int) -> tuple[float, int]:
+        hops = self.topo.edge_hops(src, dst)
+        return self.cost.message_time(nbytes, hops), hops
+
+    def _isend(self, proc: _Proc, req: ISend) -> None:
+        depart = proc.clock + self.cost.t_setup
+        wire, hops = self._wire(proc.rank, req.dst, req.nbytes)
+        arrival = depart + wire
+        key = (req.dst, proc.rank, req.tag)
+        self.stats.record_message(arrival, proc.rank, req.dst, req.nbytes, hops, "isend")
+        self.stats.comm_seconds += wire + self.cost.t_setup
+        waiters = self._recv_waiters[key]
+        anykey = (req.dst, req.tag)
+        if waiters:
+            dst_rank = waiters.popleft()
+            post_time = self._pending_recvs[key].popleft()
+            resume = max(post_time, arrival)
+            self.stats.idle_seconds += max(0.0, arrival - post_time)
+            self._push(resume, dst_rank, req.payload)
+        elif self._any_waiters[anykey]:
+            dst_rank, post_time = self._any_waiters[anykey].popleft()
+            resume = max(post_time, arrival)
+            self.stats.idle_seconds += max(0.0, arrival - post_time)
+            self._push(resume, dst_rank, req.payload)
+        else:
+            self._mail[key].append(_AsyncMsg(arrival, req.payload))
+        self._push(depart, proc.rank, None)
+
+    def _send(self, proc: _Proc, req: Send) -> None:
+        key = (req.dst, proc.rank, req.tag)
+        waiters = self._recv_waiters[key]
+        anykey = (req.dst, req.tag)
+        wire, hops = self._wire(proc.rank, req.dst, req.nbytes)
+        self.stats.comm_seconds += wire + self.cost.t_setup
+        if not waiters and self._any_waiters[anykey]:
+            dst_rank, post_time = self._any_waiters[anykey].popleft()
+            start = max(proc.clock + self.cost.t_setup, post_time)
+            finish = start + wire
+            self.stats.idle_seconds += max(0.0, finish - post_time - wire)
+            self.stats.record_message(
+                finish, proc.rank, req.dst, req.nbytes, hops, "send"
+            )
+            self._push(finish, proc.rank, None)
+            self._push(finish, dst_rank, req.payload)
+            return
+        if waiters:
+            dst_rank = waiters.popleft()
+            post_time = self._pending_recvs[key].popleft()
+            start = max(proc.clock + self.cost.t_setup, post_time)
+            finish = start + wire
+            self.stats.idle_seconds += max(0.0, finish - post_time - wire)
+            self.stats.record_message(finish, proc.rank, req.dst, req.nbytes, hops, "send")
+            self._push(finish, proc.rank, None)
+            self._push(finish, dst_rank, req.payload)
+        else:
+            self._pending_sends[key].append(
+                _PendingSend(proc.rank, proc.clock, req.payload, req.nbytes)
+            )
+            proc.blocked = True
+
+    def _recv(self, proc: _Proc, req: Recv) -> None:
+        if req.src == ANY_SOURCE:
+            self._recv_any(proc, req)
+            return
+        key = (proc.rank, req.src, req.tag)
+        mail = self._mail[key]
+        if mail:
+            msg = mail.popleft()
+            resume = max(proc.clock, msg.arrival)
+            self.stats.idle_seconds += max(0.0, msg.arrival - proc.clock)
+            self._push(resume, proc.rank, msg.payload)
+            return
+        pend = self._pending_sends[key]
+        if pend:
+            snd = pend.popleft()
+            wire, hops = self._wire(req.src, proc.rank, snd.nbytes)
+            start = max(snd.ready + self.cost.t_setup, proc.clock)
+            finish = start + wire
+            self.stats.idle_seconds += max(0.0, start - proc.clock)
+            self.stats.record_message(finish, req.src, proc.rank, snd.nbytes, hops, "send")
+            self._push(finish, req.src, None)
+            self._push(finish, proc.rank, snd.payload)
+            return
+        self._pending_recvs[key].append(proc.clock)
+        self._recv_waiters[key].append(proc.rank)
+        proc.blocked = True
+
+    def _recv_any(self, proc: _Proc, req: Recv) -> None:
+        """Wildcard receive: earliest-arriving matching message wins
+        (ties break toward the lowest sender rank, deterministically)."""
+        best_key = None
+        best_arrival = None
+        for (dst, src, tag), mail in self._mail.items():
+            if dst != proc.rank or tag != req.tag or not mail:
+                continue
+            arrival = mail[0].arrival
+            if best_arrival is None or (arrival, src) < (best_arrival, best_key[1]):
+                best_key = (dst, src, tag)
+                best_arrival = arrival
+        if best_key is not None:
+            msg = self._mail[best_key].popleft()
+            resume = max(proc.clock, msg.arrival)
+            self.stats.idle_seconds += max(0.0, msg.arrival - proc.clock)
+            self._push(resume, proc.rank, msg.payload)
+            return
+        # pending synchronous senders: earliest ready, lowest rank
+        best_skey = None
+        best_ready = None
+        for (dst, src, tag), pend in self._pending_sends.items():
+            if dst != proc.rank or tag != req.tag or not pend:
+                continue
+            ready = pend[0].ready
+            if best_ready is None or (ready, src) < (best_ready, best_skey[1]):
+                best_skey = (dst, src, tag)
+                best_ready = ready
+        if best_skey is not None:
+            snd = self._pending_sends[best_skey].popleft()
+            wire, hops = self._wire(snd.src, proc.rank, snd.nbytes)
+            start = max(snd.ready + self.cost.t_setup, proc.clock)
+            finish = start + wire
+            self.stats.idle_seconds += max(0.0, start - proc.clock)
+            self.stats.record_message(
+                finish, snd.src, proc.rank, snd.nbytes, hops, "send"
+            )
+            self._push(finish, snd.src, None)
+            self._push(finish, proc.rank, snd.payload)
+            return
+        self._any_waiters[(proc.rank, req.tag)].append((proc.rank, proc.clock))
+        proc.blocked = True
+
+
+def run_spmd(
+    cost: CostModel,
+    topo: VirtualTopology,
+    program: Callable[[int, int], Generator],
+    stats: TraceStats | None = None,
+) -> float:
+    """Run the same generator *program(rank, p)* on every processor.
+
+    Returns the makespan.  This is the engine-level analogue of launching
+    one SPMD binary per node under Parix.
+    """
+    eng = Engine(cost, topo, stats=stats)
+    for r in range(topo.p):
+        eng.spawn(r, program(r, topo.p))
+    return eng.run()

@@ -1,0 +1,168 @@
+"""The simulated Parsytec-style machine: processors + network + memory.
+
+:class:`Machine` is the object everything else hangs off: distributed
+arrays are allocated on it, skeletons charge its network clocks, and the
+evaluation harness reads the final makespan from it.  It substitutes the
+paper's testbed (64 T800 transputers, 1 MB RAM each, 2-D mesh, Parix) as
+documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MachineError, MemoryLimitError, TopologyError
+from repro.machine.costmodel import CostModel, T800_PARSYTEC
+from repro.machine.network import Network
+from repro.machine.topology import (
+    BinomialTree,
+    DefaultMapping,
+    Mesh2D,
+    Ring,
+    Torus2D,
+    VirtualTopology,
+)
+from repro.machine.trace import TraceStats
+
+__all__ = ["Machine", "DISTR_DEFAULT", "DISTR_RING", "DISTR_TORUS2D"]
+
+#: distribution constants mirroring the paper's Parix-based implementation
+DISTR_DEFAULT = "DISTR_DEFAULT"
+DISTR_RING = "DISTR_RING"
+DISTR_TORUS2D = "DISTR_TORUS2D"
+
+
+@dataclass
+class _NodeMemory:
+    capacity: int
+    used: int = 0
+
+    def alloc(self, nbytes: int, strict: bool, rank: int) -> None:
+        self.used += nbytes
+        if strict and self.used > self.capacity:
+            raise MemoryLimitError(
+                f"node {rank}: {self.used} bytes exceed the {self.capacity}-byte "
+                "node memory (the Parsytec MC had 1 MB per node; use a larger "
+                "network or Machine(strict_memory=False))"
+            )
+
+    def free(self, nbytes: int) -> None:
+        self.used = max(0, self.used - nbytes)
+
+
+class Machine:
+    """A ``p``-processor distributed-memory machine.
+
+    Parameters
+    ----------
+    p:
+        Number of processors; arranged as the most-square 2-D mesh.
+    cost:
+        Hardware cost model; defaults to the T800/Parix preset.
+    strict_memory:
+        Enforce the per-node memory limit (1 MB in the preset).  Off by
+        default so modern-size test problems fit; the Table 1/2 harness
+        switches it on to reproduce which problem sizes fit on which
+        networks.
+    keep_message_records:
+        Retain individual message records in the trace (for debugging and
+        the trace tests; costs memory on long runs).
+    use_virtual_topologies:
+        When ``False``, every virtual topology degenerates to the naive
+        embedding (wrap-around edges cross the mesh) — models the old C
+        code of Table 1.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        cost: CostModel = T800_PARSYTEC,
+        strict_memory: bool = False,
+        keep_message_records: bool = False,
+        use_virtual_topologies: bool = True,
+        link_contention: bool = False,
+    ):
+        if p <= 0:
+            raise MachineError(f"need a positive processor count, got {p}")
+        self.p = p
+        self.cost = cost
+        self.mesh = Mesh2D.for_processors(p)
+        self.stats = TraceStats(keep_records=keep_message_records)
+        self.network = Network(
+            cost, p, stats=self.stats, link_contention=link_contention
+        )
+        self.strict_memory = strict_memory
+        self.use_virtual_topologies = use_virtual_topologies
+        self._memory = [_NodeMemory(cost.memory_bytes) for _ in range(p)]
+        self._topologies: dict[str, VirtualTopology] = {}
+
+    # ------------------------------------------------------------------ time
+    @property
+    def time(self) -> float:
+        """Simulated makespan so far (seconds)."""
+        return self.network.time
+
+    def reset(self) -> None:
+        """Zero the clocks and statistics; keeps memory accounting."""
+        self.network.reset()
+        self.stats = TraceStats(keep_records=self.stats.keep_records)
+        self.network.stats = self.stats
+
+    # ------------------------------------------------------------------ topo
+    def topology(self, distr: str = DISTR_DEFAULT) -> VirtualTopology:
+        """Virtual topology for a ``DISTR_*`` constant (cached)."""
+        if distr not in self._topologies:
+            folded = self.use_virtual_topologies
+            if distr == DISTR_DEFAULT:
+                topo: VirtualTopology = DefaultMapping(self.mesh)
+            elif distr == DISTR_RING:
+                topo = Ring(self.mesh) if folded else DefaultMapping(self.mesh)
+                if not folded:
+                    topo = _NaiveRing(self.mesh)
+            elif distr == DISTR_TORUS2D:
+                topo = Torus2D(self.mesh, folded=folded)
+            else:
+                raise TopologyError(f"unknown distribution constant {distr!r}")
+            self._topologies[distr] = topo
+        return self._topologies[distr]
+
+    def tree(self, root: int = 0) -> BinomialTree:
+        return BinomialTree(self.mesh, root=root)
+
+    # ------------------------------------------------------------------ memory
+    def alloc(self, rank: int, nbytes: int) -> None:
+        self._check_rank(rank)
+        self._memory[rank].alloc(int(nbytes), self.strict_memory, rank)
+
+    def free(self, rank: int, nbytes: int) -> None:
+        self._check_rank(rank)
+        self._memory[rank].free(int(nbytes))
+
+    def memory_used(self, rank: int) -> int:
+        self._check_rank(rank)
+        return self._memory[rank].used
+
+    def max_memory_used(self) -> int:
+        return max(m.used for m in self._memory)
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.p):
+            raise MachineError(f"rank {rank} outside machine of {self.p}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine(p={self.p}, mesh={self.mesh.rows}x{self.mesh.cols}, "
+            f"time={self.time:.6f}s)"
+        )
+
+
+class _NaiveRing(Ring):
+    """Ring without embedding: logical neighbours placed in rank order,
+    so the closing edge (and nothing else) is long.  Used when virtual
+    topologies are disabled."""
+
+    def __init__(self, mesh: Mesh2D):
+        VirtualTopology.__init__(self, mesh)
+        self._place = list(range(mesh.p))

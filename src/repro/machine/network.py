@@ -1,0 +1,373 @@
+"""Clock-level simulation of message passing over a virtual topology.
+
+The skeletons (and the hand-written baselines) move the *actual data*
+between partitions themselves — they are ordinary numpy code running in
+one Python process.  What this module simulates is **time**: a vector of
+per-processor clocks is advanced according to the communication pattern,
+the message cost model and the synchronisation semantics:
+
+* an **asynchronous** send charges the sender only the software setup and
+  lets it continue; the receiver blocks until the message has crossed all
+  its hardware hops,
+* a **synchronous** (rendezvous) send blocks both parties until the
+  transfer completes — the semantics of the old Parix C code that Table 1
+  compares against.
+
+All collective patterns used by the paper's skeletons are provided:
+point-to-point, simultaneous shifts (the torus rotations of Gentleman's
+algorithm), binomial-tree broadcast and reduction (``array_fold``,
+``array_broadcast_part``), and barriers.  The fine-grained event engine
+(:mod:`repro.machine.engine`) implements the same semantics at message
+granularity; the test-suite checks the two agree on small configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.costmodel import CostModel
+from repro.machine.topology import BinomialTree, VirtualTopology
+from repro.machine.trace import TraceStats
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Per-processor clocks plus the message cost arithmetic.
+
+    Parameters
+    ----------
+    cost:
+        Hardware cost model (see :class:`repro.machine.costmodel.CostModel`).
+    p:
+        Number of (logical) processors.
+    stats:
+        Optional shared statistics accumulator.
+    """
+
+    def __init__(
+        self,
+        cost: CostModel,
+        p: int,
+        stats: TraceStats | None = None,
+        link_contention: bool = False,
+    ):
+        if p <= 0:
+            raise MachineError(f"need at least one processor, got p={p}")
+        self.cost = cost
+        self.p = p
+        self.clocks = np.zeros(p, dtype=np.float64)
+        self.stats = stats if stats is not None else TraceStats()
+        #: when enabled, simultaneous transfers in a :meth:`shift` whose
+        #: dimension-ordered routes share a directed hardware link are
+        #: slowed by the link's total load (approximate serialization)
+        self.link_contention = link_contention
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def time(self) -> float:
+        """Makespan so far: the latest of all processor clocks."""
+        return float(self.clocks.max())
+
+    def reset(self) -> None:
+        self.clocks[:] = 0.0
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.p):
+            raise MachineError(f"rank {rank} outside machine of {self.p} processors")
+
+    # ------------------------------------------------------------------ compute
+    def compute(self, seconds) -> None:
+        """Advance clocks by local computation time.
+
+        *seconds* may be a scalar (same work everywhere) or an array of
+        per-processor times.
+        """
+        sec = np.asarray(seconds, dtype=np.float64)
+        if sec.ndim == 0:
+            self.clocks += float(sec)
+            self.stats.compute_seconds += float(sec) * self.p
+        else:
+            if sec.shape != (self.p,):
+                raise MachineError(
+                    f"per-processor compute vector must have shape ({self.p},), "
+                    f"got {sec.shape}"
+                )
+            self.clocks += sec
+            self.stats.compute_seconds += float(sec.sum())
+
+    def compute_at(self, rank: int, seconds: float) -> None:
+        """Advance one processor's clock by local work."""
+        self._check_rank(rank)
+        self.clocks[rank] += seconds
+        self.stats.compute_seconds += seconds
+
+    # ------------------------------------------------------------------ p2p
+    def p2p(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        topo: VirtualTopology,
+        sync: bool = False,
+        tag: str = "p2p",
+    ) -> float:
+        """One message from *src* to *dst*; returns its arrival time."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            # a local copy, no wire involved
+            t = nbytes * self.cost.t_mem
+            self.clocks[src] += t
+            self.stats.comm_seconds += t
+            return float(self.clocks[src])
+        hops = topo.edge_hops(src, dst)
+        wire = self.cost.message_time(nbytes, hops)
+        depart = self.clocks[src] + self.cost.t_setup
+        arrival = depart + wire
+        if sync:
+            start = max(depart, float(self.clocks[dst]))
+            arrival = start + wire
+            self.stats.idle_seconds += max(0.0, arrival - self.clocks[dst] - wire)
+            self.clocks[src] = arrival
+            self.clocks[dst] = arrival
+        else:
+            self.clocks[src] = depart
+            self.stats.idle_seconds += max(0.0, arrival - self.clocks[dst])
+            self.clocks[dst] = max(float(self.clocks[dst]), arrival)
+        self.stats.record_message(arrival, src, dst, nbytes, hops, tag)
+        self.stats.comm_seconds += wire + self.cost.t_setup
+        return float(arrival)
+
+    # ------------------------------------------------------------------ shift
+    def shift(
+        self,
+        pairs: Iterable[tuple[int, int]],
+        nbytes,
+        topo: VirtualTopology,
+        sync: bool = False,
+        tag: str = "shift",
+    ) -> None:
+        """Simultaneous transfers along disjoint (src, dst) pairs.
+
+        Used for the partition rotations of Gentleman's algorithm and for
+        row permutations.  Each processor appears at most once as source
+        and at most once as destination; the transfers proceed in
+        parallel over distinct links.
+
+        *nbytes* may be a scalar or a per-source mapping/array.
+        """
+        pairs = list(pairs)
+        srcs = [s for s, _ in pairs]
+        dsts = [d for _, d in pairs]
+        if len(set(srcs)) != len(srcs) or len(set(dsts)) != len(dsts):
+            raise MachineError("shift pairs must be disjoint per side")
+
+        def nb(s: int) -> int:
+            if np.isscalar(nbytes):
+                return int(nbytes)
+            return int(nbytes[s])
+
+        old = self.clocks.copy()
+        if sync:
+            # rendezvous on every edge; a processor that both sends and
+            # receives does so serially (no DMA overlap on the old code
+            # path), so it pays for two transfers after synchronising
+            # with both partners.
+            for s, d in pairs:
+                start = max(old[s], old[d]) + self.cost.t_setup
+                hops = topo.edge_hops(s, d)
+                wire = self.cost.message_time(nb(s), hops)
+                finish = start + wire
+                self.clocks[s] = max(self.clocks[s], finish)
+                self.clocks[d] = max(self.clocks[d], finish) + (
+                    wire if d in srcs else 0.0
+                )
+                self.stats.record_message(finish, s, d, nb(s), hops, tag)
+                self.stats.comm_seconds += wire + self.cost.t_setup
+                self.stats.idle_seconds += max(0.0, start - self.cost.t_setup - old[d])
+        else:
+            depart = {s: old[s] + self.cost.t_setup for s, _ in pairs}
+            new = self.clocks.copy()
+            for s, _ in pairs:
+                new[s] = max(new[s], depart[s])
+            slowdown = self._contention_factors(pairs, nb, topo)
+            for s, d in pairs:
+                hops = topo.edge_hops(s, d)
+                wire = self.cost.message_time(nb(s), hops) * slowdown.get(
+                    (s, d), 1.0
+                )
+                arrival = depart[s] + wire
+                self.stats.idle_seconds += max(0.0, arrival - old[d])
+                new[d] = max(new[d], arrival)
+                self.stats.record_message(arrival, s, d, nb(s), hops, tag)
+                self.stats.comm_seconds += wire + self.cost.t_setup
+            self.clocks = new
+
+    def _contention_factors(self, pairs, nb, topo: VirtualTopology) -> dict:
+        """Per-transfer slowdown from shared directed hardware links.
+
+        A transfer's factor is the worst byte-load ratio among the links
+        of its dimension-ordered route: if a link carries 3x this
+        transfer's bytes in total, the transfer runs 3x slower on it —
+        an upper-bound approximation of store-and-forward serialization.
+        Only computed when :attr:`link_contention` is enabled.
+        """
+        if not self.link_contention:
+            return {}
+        link_load: dict[tuple[int, int], int] = {}
+        routes: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for s, d in pairs:
+            route = topo.mesh.route_links(topo.place(s), topo.place(d))
+            routes[(s, d)] = route
+            for link in route:
+                link_load[link] = link_load.get(link, 0) + nb(s)
+        factors: dict[tuple[int, int], float] = {}
+        for s, d in pairs:
+            own = max(1, nb(s))
+            worst = max(
+                (link_load[link] / own for link in routes[(s, d)]), default=1.0
+            )
+            factors[(s, d)] = max(1.0, worst)
+        return factors
+
+    # ------------------------------------------------------------------ trees
+    def broadcast(
+        self,
+        root: int,
+        nbytes: int,
+        topo: VirtualTopology,
+        sync: bool = False,
+        tag: str = "bcast",
+    ) -> None:
+        """Binomial-tree broadcast of *nbytes* from *root* to everyone."""
+        self._check_rank(root)
+        if self.p == 1:
+            return
+        tree = BinomialTree(topo.mesh, root=root)
+        for rnd in tree.broadcast_rounds():
+            for s, d in rnd:
+                self.p2p(s, d, nbytes, topo, sync=sync, tag=tag)
+
+    def reduce(
+        self,
+        root: int,
+        nbytes: int,
+        topo: VirtualTopology,
+        combine_seconds: float = 0.0,
+        sync: bool = False,
+        tag: str = "reduce",
+    ) -> None:
+        """Binomial-tree reduction to *root*.
+
+        *combine_seconds* is charged at every merge point (the cost of
+        applying the folding function to one pair of partial results).
+        """
+        self._check_rank(root)
+        if self.p == 1:
+            return
+        tree = BinomialTree(topo.mesh, root=root)
+        for rnd in tree.reduce_rounds():
+            for s, d in rnd:
+                self.p2p(s, d, nbytes, topo, sync=sync, tag=tag)
+                if combine_seconds:
+                    self.compute_at(d, combine_seconds)
+
+    def allreduce(
+        self,
+        nbytes: int,
+        topo: VirtualTopology,
+        combine_seconds: float = 0.0,
+        root: int = 0,
+        sync: bool = False,
+    ) -> None:
+        """Reduce to *root* then broadcast back — the paper's
+        ``array_fold`` wire pattern ("the result finally collected at the
+        root ... it is broadcasted from the root along the tree edges")."""
+        self.reduce(root, nbytes, topo, combine_seconds, sync=sync, tag="fold-up")
+        self.broadcast(root, nbytes, topo, sync=sync, tag="fold-down")
+
+    def barrier(self, topo: VirtualTopology, tag: str = "barrier") -> None:
+        """Synchronise all processors (empty allreduce)."""
+        if self.p == 1:
+            return
+        self.allreduce(1, topo)
+        self.clocks[:] = self.clocks.max()
+
+    # ------------------------------------------------------------------ gather
+    def gather(
+        self,
+        root: int,
+        nbytes_per_rank: Sequence[int] | int,
+        topo: VirtualTopology,
+        tag: str = "gather",
+    ) -> None:
+        """Everyone sends its block to *root* (used for result output)."""
+        for r in range(self.p):
+            if r == root:
+                continue
+            nb = (
+                int(nbytes_per_rank)
+                if np.isscalar(nbytes_per_rank)
+                else int(nbytes_per_rank[r])
+            )
+            self.p2p(r, root, nb, topo, tag=tag)
+
+    def scatter(
+        self,
+        root: int,
+        nbytes_per_rank: Sequence[int] | int,
+        topo: VirtualTopology,
+        tag: str = "scatter",
+    ) -> None:
+        """*root* sends each processor its block (initial distribution)."""
+        for r in range(self.p):
+            if r == root:
+                continue
+            nb = (
+                int(nbytes_per_rank)
+                if np.isscalar(nbytes_per_rank)
+                else int(nbytes_per_rank[r])
+            )
+            self.p2p(root, r, nb, topo, tag=tag)
+
+    def allgather(
+        self,
+        nbytes: int,
+        topo: VirtualTopology,
+        sync: bool = False,
+        tag: str = "allgather",
+    ) -> None:
+        """Ring allgather: p-1 rounds, each processor forwarding the
+        block it just received to its successor — the standard pattern
+        on ring virtual topologies."""
+        if self.p == 1:
+            return
+        from repro.machine.topology import Ring
+
+        ring = topo if isinstance(topo, Ring) else Ring(topo.mesh)
+        pairs = [(i, ring.succ(i)) for i in range(self.p)]
+        for _ in range(self.p - 1):
+            self.shift(pairs, nbytes, ring, sync=sync, tag=tag)
+
+    def alltoall(
+        self,
+        nbytes: int,
+        topo: VirtualTopology,
+        sync: bool = False,
+        tag: str = "alltoall",
+    ) -> None:
+        """Personalised all-to-all as p-1 rotation rounds (each round is
+        a disjoint permutation r -> r XOR k when p is a power of two,
+        r -> (r + k) mod p otherwise)."""
+        if self.p == 1:
+            return
+        for k in range(1, self.p):
+            if self.p & (self.p - 1) == 0:
+                pairs = [(r, r ^ k) for r in range(self.p)]
+            else:
+                pairs = [(r, (r + k) % self.p) for r in range(self.p)]
+            self.shift(pairs, nbytes, topo, sync=sync, tag=tag)

@@ -1,0 +1,347 @@
+"""Hardware and virtual (software) topologies.
+
+The paper's testbed is a Parsytec MC: 64 T800 transputers wired as a
+2-dimensional mesh, running Parix.  Parix lets applications request
+*virtual topologies* (ring, 2-D torus, tree, ...) which the OS embeds into
+the hardware mesh; messages along a virtual link are routed over one or
+more hardware links.
+
+We model exactly that split:
+
+* :class:`Mesh2D` is the *hardware* — it defines the hop distance between
+  any two physical nodes (dimension-ordered routing, so the hop count is
+  the Manhattan distance).
+* :class:`VirtualTopology` subclasses (:class:`Ring`, :class:`Torus2D`,
+  :class:`BinomialTree`, :class:`DefaultMapping`) define logical neighbour
+  relations plus an *embedding*: for every logical edge, the number of
+  hardware hops a message travelling that edge crosses.
+
+The quality of the embedding matters for the experiments: the paper notes
+that the *old* hand-written C version of shortest paths did not use
+virtual topologies (nor asynchronous communication), which is why Skil's
+``array_gen_mult`` — running on a torus embedding — beats it in Table 1.
+
+Embeddings implemented:
+
+* ring: boustrophedon (snake) walk of the mesh — dilation 1 (every ring
+  edge is one hardware hop).
+* torus: either *folded* (dilation 2: interleave rows/columns so that
+  wrap-around edges also cost 2 hops — the classic folded-torus trick) or
+  *naive* (wrap edges cost ``size - 1`` hops, as a plain mesh would).
+* binomial tree: used for reductions/broadcasts; edge (i, i ^ 2^k) costs
+  the mesh distance between the two placed nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TopologyError
+
+__all__ = [
+    "Mesh2D",
+    "VirtualTopology",
+    "DefaultMapping",
+    "Ring",
+    "Torus2D",
+    "BinomialTree",
+    "square_grid",
+]
+
+
+def square_grid(p: int) -> tuple[int, int]:
+    """Return the most square ``rows x cols`` factorisation of *p*.
+
+    Used both for the hardware mesh shape and for the default process grid
+    of 2-D distributed arrays.  Prefers ``rows <= cols``.
+    """
+    if p <= 0:
+        raise TopologyError(f"need a positive number of processors, got {p}")
+    rows = int(math.isqrt(p))
+    while p % rows != 0:
+        rows -= 1
+    return rows, p // rows
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """A ``rows x cols`` hardware mesh of processors.
+
+    Node *r* sits at mesh coordinates ``(r // cols, r % cols)``; messages
+    use dimension-ordered (X-then-Y) routing, so the number of link
+    traversals between two nodes is their Manhattan distance.
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise TopologyError(f"invalid mesh shape {self.rows}x{self.cols}")
+
+    @classmethod
+    def for_processors(cls, p: int) -> "Mesh2D":
+        """Most-square mesh holding exactly *p* nodes."""
+        r, c = square_grid(p)
+        return cls(r, c)
+
+    @property
+    def p(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        self._check(rank)
+        return divmod(rank, self.cols)
+
+    def rank_of(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise TopologyError(f"coordinates ({row},{col}) outside mesh")
+        return row * self.cols + col
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hardware link traversals between *src* and *dst* (0 if equal)."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def route_links(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """Directed hardware links of the X-then-Y route (contention model).
+
+        Transputer-era routers used dimension-ordered routing; two
+        messages whose routes share a directed link serialize on it.
+        """
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        links: list[tuple[int, int]] = []
+        cur = (r1, c1)
+        step = 1 if c2 > c1 else -1
+        for c in range(c1, c2, step):
+            nxt = (r1, c + step)
+            links.append((self.rank_of(*cur), self.rank_of(*nxt)))
+            cur = nxt
+        step = 1 if r2 > r1 else -1
+        for r in range(r1, r2, step):
+            nxt = (r + step, c2)
+            links.append((self.rank_of(*cur), self.rank_of(*nxt)))
+            cur = nxt
+        return links
+
+    def neighbors(self, rank: int) -> list[int]:
+        """Physically adjacent nodes (the T800 has four links)."""
+        r, c = self.coords(rank)
+        out = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nr, nc = r + dr, c + dc
+            if 0 <= nr < self.rows and 0 <= nc < self.cols:
+                out.append(self.rank_of(nr, nc))
+        return out
+
+    def _check(self, rank: int) -> None:
+        if not (0 <= rank < self.p):
+            raise TopologyError(f"rank {rank} outside mesh of {self.p} nodes")
+
+
+class VirtualTopology:
+    """A logical topology embedded into a hardware mesh.
+
+    Subclasses define logical neighbour relations; :meth:`edge_hops`
+    translates a logical edge into hardware hops through the embedding.
+    """
+
+    #: symbolic name matching the paper's ``DISTR_*`` constants
+    distr_name = "DISTR_DEFAULT"
+
+    def __init__(self, mesh: Mesh2D):
+        self.mesh = mesh
+
+    @property
+    def p(self) -> int:
+        return self.mesh.p
+
+    def place(self, logical: int) -> int:
+        """Hardware rank hosting logical processor *logical*.
+
+        The identity by default; embeddings override it.
+        """
+        return logical
+
+    def edge_hops(self, src: int, dst: int) -> int:
+        """Hardware hops for a message on the logical edge *src*→*dst*."""
+        return self.mesh.hops(self.place(src), self.place(dst))
+
+    def edges(self) -> Iterator[tuple[int, int]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class DefaultMapping(VirtualTopology):
+    """Identity mapping onto the hardware (``DISTR_DEFAULT``)."""
+
+    distr_name = "DISTR_DEFAULT"
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for r in range(self.p):
+            for n in self.mesh.neighbors(r):
+                yield (r, n)
+
+
+class Ring(VirtualTopology):
+    """A ring of all processors (``DISTR_RING``).
+
+    Embedded as a boustrophedon walk of the mesh: consecutive ring members
+    are physically adjacent (dilation 1) except the single closing edge,
+    which crosses ``rows - 1`` vertical links.
+    """
+
+    distr_name = "DISTR_RING"
+
+    def __init__(self, mesh: Mesh2D):
+        super().__init__(mesh)
+        order = []
+        for r in range(mesh.rows):
+            cols = range(mesh.cols) if r % 2 == 0 else range(mesh.cols - 1, -1, -1)
+            order.extend(mesh.rank_of(r, c) for c in cols)
+        self._place = order
+
+    def place(self, logical: int) -> int:
+        return self._place[logical]
+
+    def succ(self, logical: int) -> int:
+        return (logical + 1) % self.p
+
+    def pred(self, logical: int) -> int:
+        return (logical - 1) % self.p
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for i in range(self.p):
+            yield (i, self.succ(i))
+
+
+class Torus2D(VirtualTopology):
+    """A 2-D torus of virtual processors (``DISTR_TORUS2D``).
+
+    This is the topology ``array_gen_mult`` wants: Gentleman's algorithm
+    rotates matrix partitions along torus rows and columns.
+
+    With ``folded=True`` (the default) the torus is embedded with the
+    folded interleaving so every torus edge — including wrap-around —
+    costs at most 2 hardware hops.  With ``folded=False`` the naive
+    embedding is used and wrap-around edges cost ``size - 1`` hops; this
+    models software that does *not* exploit virtual topologies (the old C
+    baseline of Table 1).
+    """
+
+    distr_name = "DISTR_TORUS2D"
+
+    def __init__(self, mesh: Mesh2D, folded: bool = True):
+        super().__init__(mesh)
+        self.grid_rows = mesh.rows
+        self.grid_cols = mesh.cols
+        self.folded = folded
+        if folded:
+            self._row_perm = _folded_order(mesh.rows)
+            self._col_perm = _folded_order(mesh.cols)
+        else:
+            self._row_perm = list(range(mesh.rows))
+            self._col_perm = list(range(mesh.cols))
+
+    # -- logical grid addressing -------------------------------------------------
+    def grid_coords(self, logical: int) -> tuple[int, int]:
+        if not (0 <= logical < self.p):
+            raise TopologyError(f"rank {logical} outside torus of {self.p}")
+        return divmod(logical, self.grid_cols)
+
+    def grid_rank(self, row: int, col: int) -> int:
+        return (row % self.grid_rows) * self.grid_cols + (col % self.grid_cols)
+
+    def place(self, logical: int) -> int:
+        lr, lc = self.grid_coords(logical)
+        return self.mesh.rank_of(self._row_perm[lr], self._col_perm[lc])
+
+    # -- neighbour helpers used by gen_mult ---------------------------------------
+    def west(self, logical: int) -> int:
+        r, c = self.grid_coords(logical)
+        return self.grid_rank(r, c - 1)
+
+    def east(self, logical: int) -> int:
+        r, c = self.grid_coords(logical)
+        return self.grid_rank(r, c + 1)
+
+    def north(self, logical: int) -> int:
+        r, c = self.grid_coords(logical)
+        return self.grid_rank(r - 1, c)
+
+    def south(self, logical: int) -> int:
+        r, c = self.grid_coords(logical)
+        return self.grid_rank(r + 1, c)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for i in range(self.p):
+            yield (i, self.east(i))
+            yield (i, self.south(i))
+
+
+class BinomialTree(VirtualTopology):
+    """Binomial broadcast/reduction tree rooted at an arbitrary rank.
+
+    Round *k* of a broadcast from the root sends from every already
+    informed node ``i`` to ``i XOR 2^k`` (ranks relative to the root).
+    ``array_fold`` runs the mirror image of this pattern upwards and then
+    broadcasts the result back down, exactly as described in the paper
+    ("performed along the edges of a virtual tree topology").
+    """
+
+    distr_name = "DISTR_TREE"
+
+    def __init__(self, mesh: Mesh2D, root: int = 0):
+        super().__init__(mesh)
+        if not (0 <= root < mesh.p):
+            raise TopologyError(f"tree root {root} outside machine")
+        self.root = root
+
+    @property
+    def rounds(self) -> int:
+        return max(1, math.ceil(math.log2(self.p))) if self.p > 1 else 0
+
+    def relative(self, rank: int) -> int:
+        return (rank - self.root) % self.p
+
+    def absolute(self, rel: int) -> int:
+        return (rel + self.root) % self.p
+
+    def broadcast_rounds(self) -> list[list[tuple[int, int]]]:
+        """List of rounds; each round is a list of (src, dst) logical edges."""
+        rounds: list[list[tuple[int, int]]] = []
+        informed = 1
+        k = 0
+        while informed < self.p:
+            step = 1 << k
+            edges = []
+            for rel in range(min(step, self.p)):
+                partner = rel + step
+                if partner < self.p:
+                    edges.append((self.absolute(rel), self.absolute(partner)))
+            rounds.append(edges)
+            informed += len(edges)
+            k += 1
+        return rounds
+
+    def reduce_rounds(self) -> list[list[tuple[int, int]]]:
+        """Reduction is the reversed broadcast with edges flipped."""
+        return [[(d, s) for (s, d) in rnd] for rnd in reversed(self.broadcast_rounds())]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for rnd in self.broadcast_rounds():
+            yield from rnd
+
+
+def _folded_order(n: int) -> list[int]:
+    """Interleaved placement giving a dilation-2 ring on a line.
+
+    ``0 2 4 ... 5 3 1`` — consecutive ring positions (including the wrap)
+    are at most 2 apart on the physical line.
+    """
+    evens = list(range(0, n, 2))
+    odds = list(range(1, n, 2))
+    return evens + odds[::-1]

@@ -1,0 +1,46 @@
+"""The paper's algorithmic skeletons for distributed arrays.
+
+Use through a :class:`~repro.skeletons.base.SkilContext`:
+
+>>> from repro import Machine, SKIL, DISTR_TORUS2D
+>>> from repro.skeletons import SkilContext, PLUS, skil_fn
+>>> ctx = SkilContext(Machine(4), SKIL)
+>>> init = skil_fn(ops=1)(lambda ix: ix[0] * 8 + ix[1])
+>>> a = ctx.array_create(2, (8, 8), (0, 0), (-1, -1), init, DISTR_TORUS2D)
+>>> int(ctx.array_fold(skil_fn(ops=0)(lambda v, ix: v), PLUS, a))
+2016
+"""
+
+from repro.skeletons.base import MapEnv, SkilContext, ops_of
+from repro.skeletons.dc import divide_and_conquer
+from repro.skeletons.farm import farm
+from repro.skeletons.functional import (
+    MAX,
+    MIN,
+    OPERATOR_SECTIONS,
+    PLUS,
+    TIMES,
+    Section,
+    papply,
+    section,
+    skil_fn,
+)
+from repro.skeletons.genmult import semiring_block_product
+
+__all__ = [
+    "SkilContext",
+    "MapEnv",
+    "ops_of",
+    "divide_and_conquer",
+    "farm",
+    "skil_fn",
+    "section",
+    "papply",
+    "Section",
+    "PLUS",
+    "TIMES",
+    "MIN",
+    "MAX",
+    "OPERATOR_SECTIONS",
+    "semiring_block_product",
+]

@@ -1,0 +1,179 @@
+"""Skeleton execution context.
+
+A :class:`SkilContext` binds a :class:`~repro.machine.machine.Machine`
+to a :class:`~repro.machine.costmodel.LanguageProfile` and exposes the
+paper's skeletons as methods.  The same skeleton *semantics* runs under
+every profile — what changes between ``skil``, ``dpfl`` and ``parix-c``
+is only how much simulated time the same abstract work costs (DESIGN.md
+§2), which is exactly the comparison the paper's evaluation makes.
+
+Execution model: skeletons are *collective operations*.  Within one
+skeleton the context iterates over the logical processors, applying the
+customizing argument functions to each partition (vectorized when the
+function provides a kernel, elementwise otherwise) and charging each
+processor's clock for the work; the communication pattern of the
+skeleton is then charged through :class:`repro.machine.network.Network`.
+User argument functions that need processor context (the paper's
+``procId`` or ``array_part_bounds``) read it from :attr:`current_rank` /
+:meth:`proc_id` while they are being mapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.arrays.darray import DistArray
+from repro.errors import SkeletonError
+from repro.machine.costmodel import SKIL, LanguageProfile
+from repro.machine.machine import DISTR_DEFAULT, Machine
+
+__all__ = ["SkilContext", "MapEnv", "ops_of", "current_context"]
+
+#: the context whose skeleton is currently executing; lets user argument
+#: functions reach processor context (procId, partition bounds) the way
+#: the paper's C functions call the array macros directly
+_CURRENT: "SkilContext | None" = None
+
+
+def current_context() -> "SkilContext":
+    """The context of the skeleton currently executing.
+
+    Only valid while a skeleton applies user argument functions; the
+    paper's equivalents are the ``procId`` variable and the
+    ``array_part_bounds`` macro available inside argument functions.
+    """
+    if _CURRENT is None:
+        raise SkeletonError("current_context() is only defined inside a skeleton")
+    return _CURRENT
+
+
+def ops_of(f: Callable, default: float = 1.0) -> float:
+    """Abstract operation count per element of a user function.
+
+    Argument functions may annotate themselves with ``.ops`` (see
+    :func:`repro.skeletons.functional.skil_fn`); the cost model charges
+    ``ops * elem_time`` per element.
+    """
+    return float(getattr(f, "ops", default))
+
+
+@dataclass
+class MapEnv:
+    """Per-rank environment handed to vectorized kernels."""
+
+    ctx: "SkilContext"
+    rank: int
+    bounds: Any  # repro.arrays.distribution.Bounds
+
+
+class SkilContext:
+    """Machine + language profile + the skeleton API.
+
+    The individual skeleton implementations live in sibling modules
+    (:mod:`repro.skeletons.create`, ``map``, ``fold``, ``comm``,
+    ``genmult``, ``extensions``); this class wires them together and
+    owns the shared bookkeeping (overhead charging, current-rank
+    tracking, skeleton-call statistics).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        profile: LanguageProfile = SKIL,
+        default_distr: str = DISTR_DEFAULT,
+    ):
+        self.machine = machine
+        self.profile = profile
+        self.default_distr = default_distr
+        #: rank whose partition is currently being processed by a
+        #: skeleton; user argument functions may read it (``procId``).
+        self.current_rank: int | None = None
+
+    # ------------------------------------------------------------------ infra
+    @property
+    def net(self):
+        return self.machine.network
+
+    @property
+    def p(self) -> int:
+        return self.machine.p
+
+    def proc_id(self) -> int:
+        """The paper's ``procId`` — only valid inside argument functions."""
+        if self.current_rank is None:
+            raise SkeletonError("proc_id() is only defined inside a skeleton")
+        return self.current_rank
+
+    def elem_time(self, ops: float = 1.0) -> float:
+        return self.profile.elem_time(self.machine.cost, ops)
+
+    def begin_skeleton(self, name: str) -> None:
+        """Charge the fixed per-invocation overhead on every processor."""
+        global _CURRENT
+        _CURRENT = self
+        self.machine.stats.skeleton_calls += 1
+        if self.profile.skeleton_overhead:
+            self.net.compute(self.profile.skeleton_overhead)
+
+    def sync(self) -> bool:
+        """Whether communication should use synchronous sends."""
+        return not self.profile.async_comm
+
+    def wire_bytes(self, nbytes: int) -> int:
+        """Effective bytes a message costs under this language.
+
+        Functional hosts flatten boxed elements into a send buffer and
+        re-box on receipt, inflating the per-byte wire cost
+        (``comm_byte_factor``); imperative partitions go out as-is.
+        """
+        return int(nbytes * self.profile.comm_byte_factor)
+
+    def check_distinct(self, name: str, *arrays: DistArray) -> None:
+        seen: list[DistArray] = []
+        for a in arrays:
+            for s in seen:
+                if a is s:
+                    raise SkeletonError(
+                        f"{name}: array arguments must be distinct "
+                        "(the paper forbids aliased arguments here)"
+                    )
+            seen.append(a)
+
+    def check_same_shape(self, name: str, a: DistArray, b: DistArray) -> None:
+        if a.shape != b.shape or a.dist.grid != b.dist.grid:
+            raise SkeletonError(
+                f"{name}: arrays must share shape and distribution, got "
+                f"{a.shape}/{a.dist.grid} vs {b.shape}/{b.dist.grid}"
+            )
+
+    # ------------------------------------------------------------------ API
+    # The skeleton entry points are attached below to keep each
+    # implementation in its own module (many small modules, one concern
+    # each); see the bottom of this file.
+
+
+def _attach_api() -> None:
+    """Bind the skeleton implementations as SkilContext methods."""
+    from repro.skeletons import comm, create, dc, extensions, farm, fold, genmult
+    from repro.skeletons import map as map_mod
+
+    SkilContext.array_create = create.array_create
+    SkilContext.array_destroy = create.array_destroy
+    SkilContext.array_copy = create.array_copy
+    SkilContext.array_map = map_mod.array_map
+    SkilContext.array_zip = map_mod.array_zip
+    SkilContext.array_fold = fold.array_fold
+    SkilContext.array_scan = fold.array_scan
+    SkilContext.array_broadcast_part = comm.array_broadcast_part
+    SkilContext.array_permute_rows = comm.array_permute_rows
+    SkilContext.array_rotate_rows = comm.array_rotate_rows
+    SkilContext.array_gen_mult = genmult.array_gen_mult
+    SkilContext.array_map_overlap = extensions.array_map_overlap
+    SkilContext.divide_and_conquer = dc.divide_and_conquer
+    SkilContext.farm = farm.farm
+
+
+_attach_api()

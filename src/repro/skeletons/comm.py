@@ -1,0 +1,118 @@
+"""Communication skeletons: ``array_broadcast_part`` and
+``array_permute_rows`` (plus an ``array_rotate_rows`` convenience).
+
+.. code-block:: c
+
+   void array_broadcast_part (array<$t> a, Index ix);
+   void array_permute_rows (array<$t> from, int perm_f (int), array<$t> to);
+
+``array_broadcast_part`` broadcasts the partition containing element
+*ix*; "each processor overwrites his partition with the broadcasted one".
+The paper's Gaussian elimination shapes the ``piv`` array as ``p x (n+1)``
+so each partition is exactly one row, turning row broadcast into
+partition broadcast.
+
+``array_permute_rows`` applies only to 2-dimensional arrays and requires
+a *bijective* function on ``{0, ..., n-1}``, "otherwise a run-time error
+occurs" — reproduced here as :class:`~repro.errors.SkeletonError`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+import numpy as np
+
+from repro.arrays.darray import DistArray
+from repro.errors import SkeletonError
+from repro.skeletons.base import ops_of
+
+__all__ = ["array_broadcast_part", "array_permute_rows", "array_rotate_rows"]
+
+
+def array_broadcast_part(ctx, a: DistArray, ix) -> None:
+    """Broadcast the partition owning element *ix* to all processors."""
+    ctx.begin_skeleton("array_broadcast_part")
+    owner = a.owner(tuple(int(i) for i in ix))
+    block = a.local(owner)
+    for r in range(ctx.p):
+        if r == owner:
+            continue
+        if a.local(r).shape != block.shape:
+            raise SkeletonError(
+                "array_broadcast_part requires equally sized partitions "
+                f"(rank {r} holds {a.local(r).shape}, owner holds {block.shape})"
+            )
+        a.local(r)[...] = block
+    topo = ctx.machine.topology(a.distr)
+    ctx.net.broadcast(
+        owner, ctx.wire_bytes(block.nbytes), topo, sync=ctx.sync(), tag="bcast-part"
+    )
+
+
+def _row_segment_owner(arr: DistArray, row: int, col_lo: int) -> int:
+    """Rank owning the segment of *row* starting at column *col_lo*."""
+    return arr.owner((row, col_lo))
+
+
+def array_permute_rows(
+    ctx, from_arr: DistArray, perm_f: Callable[[int], int], to_arr: DistArray
+) -> None:
+    """Permute the rows of a 2-D array: ``to[perm_f(i), :] = from[i, :]``."""
+    ctx.begin_skeleton("array_permute_rows")
+    if from_arr.dim != 2:
+        raise SkeletonError("array_permute_rows applies only to 2-dimensional arrays")
+    ctx.check_same_shape("array_permute_rows", from_arr, to_arr)
+    if from_arr is to_arr:
+        raise SkeletonError("array_permute_rows: source and target must differ")
+
+    n_rows = from_arr.shape[0]
+    perm = [int(perm_f(i)) for i in range(n_rows)]
+    if sorted(perm) != list(range(n_rows)):
+        raise SkeletonError(
+            "array_permute_rows: the permutation function is not a bijection "
+            f"on {{0,...,{n_rows - 1}}} (run-time error, as in the paper)"
+        )
+    # evaluating the permutation function costs one application per row
+    # it is evaluated on (at least) the processors whose rows move
+    ctx.net.compute(n_rows / ctx.p * ctx.elem_time(ops_of(perm_f)))
+
+    # group row segments into per-(src,dst) messages
+    itemsize = from_arr.dtype.itemsize
+    pair_bytes: dict[tuple[int, int], int] = defaultdict(int)
+    for src_rank in range(ctx.p):
+        b = from_arr.part_bounds(src_rank)
+        col_lo, col_hi = b.lower[1], b.upper[1]
+        seg_bytes = (col_hi - col_lo) * itemsize
+        for row in range(b.lower[0], b.upper[0]):
+            dst_rank = _row_segment_owner(to_arr, perm[row], col_lo)
+            segment = from_arr.local(src_rank)[row - b.lower[0], :]
+            db = to_arr.part_bounds(dst_rank)
+            to_arr.local(dst_rank)[perm[row] - db.lower[0], :] = segment
+            pair_bytes[(src_rank, dst_rank)] += seg_bytes
+
+    topo = ctx.machine.topology(from_arr.distr)
+    t_mem = ctx.machine.cost.t_mem
+    for (s, d), nbytes in sorted(pair_bytes.items()):
+        if s == d:
+            ctx.net.compute_at(s, nbytes * t_mem)
+        else:
+            ctx.net.p2p(
+                s, d, ctx.wire_bytes(nbytes), topo, sync=ctx.sync(), tag="permute-rows"
+            )
+
+
+def array_rotate_rows(ctx, from_arr: DistArray, shift: int, to_arr: DistArray) -> None:
+    """Rotate rows downward by *shift* (negative: upward).
+
+    Convenience wrapper over :func:`array_permute_rows` with the rotation
+    bijection ``i -> (i + shift) mod n``.
+    """
+    n = from_arr.shape[0]
+
+    def rot(i: int) -> int:
+        return (i + shift) % n
+
+    rot.ops = 1.0
+    array_permute_rows(ctx, from_arr, rot, to_arr)

@@ -1,0 +1,199 @@
+"""Skeletons for dynamic (pointer-based) element types — ref. [2].
+
+Section 2.3 of the paper: "some problems may appear if dynamic (i.e.
+pointer-based) data types are used.  In this case, skeletons that move
+elements of the pardata from one processor to another should not move
+the pointer as such, but the data pointed to by it.  For that, they get
+additional functional arguments which account for the
+'flattening'/'unflattening' of data.  This issue is addressed in [2]."
+
+This module implements that extension: a distributed array of arbitrary
+Python objects (:class:`DynArray`, standing in for linked lists / trees
+per element) and the communication skeletons that take explicit
+``flatten``/``unflatten`` functional arguments.  Flattening costs both
+*computation* (walking the structure, charged per flattened byte) and
+determines the *message size*; unflattening is charged on the receiver.
+
+Purely local skeletons (:func:`dyn_map`, :func:`dyn_fold`'s conversion
+phase) need no flattening — exactly why the paper's simplified syntax
+omits the extra arguments for them.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.arrays.distribution import BlockDistribution, Bounds
+from repro.errors import SkeletonError
+from repro.machine.machine import Machine
+from repro.skeletons.base import ops_of
+
+__all__ = ["DynArray", "dyn_create", "dyn_map", "dyn_fold", "dyn_rotate",
+           "dyn_gather"]
+
+
+class DynArray:
+    """A 1-D block-distributed array of dynamic (boxed) elements."""
+
+    def __init__(self, machine: Machine, n: int):
+        if n < machine.p:
+            raise SkeletonError(
+                f"need at least one element per processor ({n} < {machine.p})"
+            )
+        self.machine = machine
+        self.n = n
+        self.dist = BlockDistribution((n,), (machine.p,))
+        self._blocks: list[list[Any]] = [
+            [None] * self.dist.local_shape(r)[0] for r in range(machine.p)
+        ]
+
+    @property
+    def p(self) -> int:
+        return self.machine.p
+
+    def part_bounds(self, rank: int) -> Bounds:
+        return self.dist.bounds(rank)
+
+    def local(self, rank: int) -> list:
+        return self._blocks[rank]
+
+    def to_list(self) -> list:
+        out: list = []
+        for blk in self._blocks:
+            out.extend(blk)
+        return out
+
+    def from_list(self, values: list) -> None:
+        if len(values) != self.n:
+            raise SkeletonError(f"expected {self.n} values, got {len(values)}")
+        pos = 0
+        for r in range(self.p):
+            m = len(self._blocks[r])
+            self._blocks[r] = list(values[pos : pos + m])
+            pos += m
+
+
+def dyn_create(ctx, n: int, init_f: Callable[[int], Any]) -> DynArray:
+    """Create a distributed dynamic array, ``a[i] = init_f(i)``."""
+    ctx.begin_skeleton("dyn_create")
+    arr = DynArray(ctx.machine, n)
+    per_rank = np.zeros(ctx.p)
+    t_elem = ctx.elem_time(ops_of(init_f))
+    for r in range(ctx.p):
+        ctx.current_rank = r
+        b = arr.part_bounds(r)
+        arr._blocks[r] = [init_f(i) for i in range(b.lower[0], b.upper[0])]
+        per_rank[r] = b.size * t_elem
+    ctx.current_rank = None
+    ctx.net.compute(per_rank)
+    return arr
+
+
+def dyn_map(ctx, f: Callable[[Any, int], Any], src: DynArray, dst: DynArray) -> None:
+    """Elementwise map — local, no flattening needed."""
+    ctx.begin_skeleton("dyn_map")
+    if src.n != dst.n:
+        raise SkeletonError("dyn_map: arrays must have the same length")
+    per_rank = np.zeros(ctx.p)
+    t_elem = ctx.elem_time(ops_of(f))
+    results = []
+    for r in range(ctx.p):
+        ctx.current_rank = r
+        b = src.part_bounds(r)
+        results.append(
+            [f(v, i) for v, i in zip(src.local(r), range(b.lower[0], b.upper[0]))]
+        )
+        per_rank[r] = b.size * t_elem
+    ctx.current_rank = None
+    for r in range(ctx.p):
+        dst._blocks[r] = results[r]
+    ctx.net.compute(per_rank)
+
+
+def dyn_fold(ctx, conv_f: Callable, fold_f: Callable, a: DynArray):
+    """Fold with local conversion; the combine travels flattened scalars."""
+    ctx.begin_skeleton("dyn_fold")
+    t_conv = ctx.elem_time(ops_of(conv_f))
+    t_fold = ctx.elem_time(ops_of(fold_f))
+    partials = []
+    per_rank = np.zeros(ctx.p)
+    for r in range(ctx.p):
+        ctx.current_rank = r
+        b = a.part_bounds(r)
+        vals = [conv_f(v, i) for v, i in
+                zip(a.local(r), range(b.lower[0], b.upper[0]))]
+        partials.append(reduce(fold_f, vals))
+        per_rank[r] = b.size * t_conv + max(0, b.size - 1) * t_fold
+    ctx.current_rank = None
+    ctx.net.compute(per_rank)
+    topo = ctx.machine.topology(ctx.default_distr)
+    ctx.net.allreduce(ctx.wire_bytes(64), topo, combine_seconds=t_fold,
+                      sync=ctx.sync())
+    return reduce(fold_f, partials)
+
+
+def dyn_rotate(
+    ctx,
+    a: DynArray,
+    shift: int,
+    flatten: Callable[[Any], int],
+    unflatten: Callable[[Any], Any] | None = None,
+) -> None:
+    """Rotate elements by *shift* positions, flattening boxed data.
+
+    *flatten(elem)* returns the number of bytes the element occupies in
+    contiguous form (and may also canonicalise it); *unflatten* rebuilds
+    the boxed structure on the receiver (identity by default).  Both the
+    wire bytes and per-byte flatten/unflatten compute time come from the
+    flattened sizes — the pointer itself is never sent.
+    """
+    ctx.begin_skeleton("dyn_rotate")
+    if unflatten is None:
+        unflatten = lambda x: x  # noqa: E731
+    values = a.to_list()
+    rotated = values[-shift % a.n :] + values[: -shift % a.n]
+
+    # bytes leaving each rank: elements whose destination rank differs
+    topo = ctx.machine.topology(ctx.default_distr)
+    t_mem = ctx.machine.cost.t_mem
+    pair_bytes: dict[tuple[int, int], int] = {}
+    flatten_cost = np.zeros(ctx.p)
+    for i, v in enumerate(values):
+        src_rank = a.dist.owner((i,))
+        j = (i + shift) % a.n
+        dst_rank = a.dist.owner((j,))
+        if src_rank == dst_rank:
+            continue
+        nbytes = int(flatten(v))
+        pair_bytes[(src_rank, dst_rank)] = (
+            pair_bytes.get((src_rank, dst_rank), 0) + nbytes
+        )
+        # flattening walks the structure once on each side
+        flatten_cost[src_rank] += nbytes * t_mem
+        flatten_cost[dst_rank] += nbytes * t_mem
+    ctx.net.compute(flatten_cost)
+    for (s, d), nbytes in sorted(pair_bytes.items()):
+        ctx.net.p2p(s, d, ctx.wire_bytes(nbytes), topo, sync=ctx.sync(),
+                    tag="dyn-rotate")
+
+    a.from_list([unflatten(v) for v in rotated])
+
+
+def dyn_gather(
+    ctx, a: DynArray, flatten: Callable[[Any], int], root: int = 0
+) -> list:
+    """Collect all (flattened) elements at *root*; returns the list."""
+    ctx.begin_skeleton("dyn_gather")
+    topo = ctx.machine.topology(ctx.default_distr)
+    t_mem = ctx.machine.cost.t_mem
+    for r in range(ctx.p):
+        if r == root:
+            continue
+        nbytes = sum(int(flatten(v)) for v in a.local(r))
+        ctx.net.compute_at(r, nbytes * t_mem)
+        ctx.net.p2p(r, root, ctx.wire_bytes(nbytes), topo, sync=ctx.sync(),
+                    tag="dyn-gather")
+    return a.to_list()

@@ -1,0 +1,158 @@
+"""``array_fold`` (and the ``array_scan`` extension).
+
+.. code-block:: c
+
+   $t2 array_fold ($t2 conv_f ($t1, Index), $t2 fold_f ($t2, $t2),
+                   array<$t1> a);
+
+Three phases, exactly as in the paper:
+
+1. every processor converts the elements of its partition with *conv_f*
+   ("in a map-like way ... but our solution is more efficient" than a
+   preliminary ``array_map`` — no temporary array is materialised);
+2. each processor folds its converted partition locally with *fold_f*;
+3. the per-partition results are folded together "along the edges of a
+   virtual tree topology, with the result finally collected at the root"
+   and then "broadcasted from the root along the tree edges to all other
+   processors" — so every processor returns the same value.
+
+*fold_f* must be associative and commutative, "otherwise the result is
+non-deterministic"; the library emits a :class:`UserWarning` when a
+folding function does not carry that promise (see
+:func:`repro.skeletons.functional.skil_fn`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from functools import reduce
+from typing import Callable
+
+import numpy as np
+
+from repro.arrays.darray import DistArray
+from repro.errors import SkeletonError
+from repro.skeletons.base import MapEnv, ops_of
+
+__all__ = ["array_fold", "array_scan"]
+
+
+def _converted_partition(ctx, conv_f, a: DistArray, rank: int) -> np.ndarray:
+    b = a.part_bounds(rank)
+    vec = getattr(conv_f, "vectorized", None)
+    if vec is not None:
+        env = MapEnv(ctx, rank, b)
+        out = np.asarray(vec(a.local(rank), a.index_grids(rank), env))
+        return np.broadcast_to(out, a.local(rank).shape)
+    src = a.local(rank)
+    vals = []
+    for local_ix, gix in a.iter_local_indices(rank):
+        vals.append(conv_f(src[local_ix], gix))
+    arr = np.empty(len(vals), dtype=object)
+    arr[:] = vals
+    return arr
+
+
+def _local_fold(fold_f, values: np.ndarray):
+    flat = values.ravel()
+    reducer = getattr(fold_f, "reduce_all", None)
+    if reducer is not None:
+        return reducer(flat)
+    np_reduce = getattr(fold_f, "np_reduce", None)
+    if np_reduce is not None and flat.dtype != object:
+        return np_reduce(flat)
+    return reduce(fold_f, flat.tolist())
+
+
+def array_fold(ctx, conv_f: Callable, fold_f: Callable, a: DistArray):
+    """Fold all elements of *a* into one value, known on all processors."""
+    ctx.begin_skeleton("array_fold")
+    if not getattr(fold_f, "commutative_associative", False):
+        warnings.warn(
+            "array_fold: the folding function does not declare itself "
+            "associative and commutative; the result is non-deterministic "
+            "on a real machine (annotate it with skil_fn(...))",
+            UserWarning,
+            stacklevel=2,
+        )
+
+    t_conv = ctx.elem_time(ops_of(conv_f))
+    t_fold = ctx.elem_time(ops_of(fold_f))
+    per_rank = np.zeros(ctx.p)
+    partials = []
+    for r in range(ctx.p):
+        ctx.current_rank = r
+        vals = _converted_partition(ctx, conv_f, a, r)
+        partials.append(_local_fold(fold_f, vals))
+        n = vals.size
+        per_rank[r] = n * t_conv + max(0, n - 1) * t_fold
+    ctx.current_rank = None
+    ctx.net.compute(per_rank)
+
+    # combine along the binomial tree and broadcast the result back
+    result = reduce(fold_f, partials)
+    probe = np.asarray(partials[0])
+    nbytes = probe.nbytes if probe.dtype != object else 64
+    topo = ctx.machine.topology(a.distr)
+    ctx.net.allreduce(
+        ctx.wire_bytes(nbytes), topo, combine_seconds=t_fold, sync=ctx.sync()
+    )
+    return result
+
+
+def array_scan(ctx, scan_f: Callable, a: DistArray, to_arr: DistArray) -> None:
+    """Extension skeleton: inclusive prefix combination along dimension 0.
+
+    For 1-D arrays distributed block-wise: ``to[i] = scan_f(a[0], ...,
+    a[i])``.  Local scan, exclusive tree-propagated offsets, local
+    correction — the textbook distributed scan.  *scan_f* must be
+    associative (commutativity is not required).
+    """
+    ctx.begin_skeleton("array_scan")
+    if a.dim != 1:
+        raise SkeletonError("array_scan currently supports 1-D arrays")
+    ctx.check_same_shape("array_scan", a, to_arr)
+
+    t_fold = ctx.elem_time(ops_of(scan_f))
+    np_op = getattr(scan_f, "np_op", None)
+    per_rank = np.zeros(ctx.p)
+    locals_ = []
+    for r in range(ctx.p):
+        src = a.local(r)
+        if np_op is not None and src.dtype != object:
+            scanned = np_op.accumulate(src)
+        else:
+            out = list(src)
+            for i in range(1, len(out)):
+                out[i] = scan_f(out[i - 1], out[i])
+            scanned = np.asarray(out, dtype=to_arr.dtype)
+        locals_.append(scanned)
+        per_rank[r] = max(0, src.size - 1) * t_fold
+    ctx.net.compute(per_rank)
+
+    # exclusive offsets: fold of the last local elements of lower ranks
+    offsets = [None] * ctx.p
+    running = None
+    for r in range(ctx.p):
+        offsets[r] = running
+        last = locals_[r][-1]
+        running = last if running is None else scan_f(running, last)
+    # communication: a (log p)-round tree carrying one element up+down,
+    # modelled with the same allreduce pattern as fold
+    probe = np.asarray(locals_[0][:1])
+    topo = ctx.machine.topology(a.distr)
+    ctx.net.allreduce(
+        ctx.wire_bytes(probe.nbytes), topo, combine_seconds=t_fold, sync=ctx.sync()
+    )
+
+    for r in range(ctx.p):
+        if offsets[r] is None:
+            to_arr.local(r)[...] = locals_[r]
+        elif np_op is not None and locals_[r].dtype != object:
+            to_arr.local(r)[...] = np_op(offsets[r], locals_[r])
+        else:
+            to_arr.local(r)[...] = [scan_f(offsets[r], v) for v in locals_[r]]
+    # correction pass costs one op per element
+    ctx.net.compute(
+        np.array([a.local(r).size * t_fold for r in range(ctx.p)])
+    )

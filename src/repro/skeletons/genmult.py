@@ -1,0 +1,218 @@
+"""``array_gen_mult`` — generic matrix multiplication (Gentleman).
+
+.. code-block:: c
+
+   void array_gen_mult (array<$t> a, array<$t> b,
+                        $t gen_add ($t, $t), $t gen_mult ($t, $t),
+                        array<$t> c);
+
+For each element of the result matrix the skeleton computes the "dot
+product" of the corresponding row of *a* and column of *b*, with scalar
+multiplication replaced by *gen_mult* and scalar addition by *gen_add* —
+the classical multiplication with ``(+), (*)``, shortest paths with
+``min, (+)`` (Section 4.1).
+
+The implementation is "Gentleman's distributed matrix multiplication
+algorithm, in which local partition multiplications alternate with
+partition rotations among the processors; these rotations are done
+horizontally for the first matrix and vertically for the second one,
+while the mapping of the result matrix remains unchanged."  Concretely
+(Cannon/Gentleman on a ``g x g`` torus):
+
+1. skew: the *a*-partition of grid position ``(i, j)`` is replaced by the
+   one from ``(i, (j + i) mod g)``, the *b*-partition by the one from
+   ``((i + j) mod g, j)``;
+2. ``g`` rounds of: local generic block multiply accumulated into *c*,
+   then rotate *a* one step west and *b* one step north (skipped after
+   the last round);
+3. unskew, so the argument arrays are observably unchanged (the paper's
+   shortest-paths program reuses ``a`` right after the call).
+
+Because the skeleton cannot know the neutral element of *gen_add*, the
+**initial contents of c seed the accumulation** — this is why the
+shortest-paths program creates ``c`` filled with "infinity" (the neutral
+element of ``min``) and the classical use case fills it with zero.
+
+The matrices must be distinct ("calls of the form array_gen_mult(a, a,
+...) and array_gen_mult(a, ..., a) are not allowed") and distributed on
+a square torus grid with equal square partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.arrays.darray import DistArray
+from repro.errors import SkeletonError
+from repro.machine.topology import Torus2D
+from repro.skeletons.base import ops_of
+
+__all__ = ["array_gen_mult", "semiring_block_product"]
+
+#: cap on the temporary ``(m, k_chunk, n)`` tensor built by the generic
+#: vectorized path, in elements
+_CHUNK_ELEMS = 1 << 21
+
+
+def semiring_block_product(gen_add, gen_mult, A: np.ndarray, B: np.ndarray,
+                           acc: np.ndarray) -> np.ndarray:
+    """Accumulate the generic product of two local blocks into *acc*.
+
+    Uses ``A @ B`` for the classical ``(+), (*)`` case, a chunked
+    broadcast-reduce when both operators carry numpy kernels, and a
+    Python triple loop otherwise (tiny test problems only).
+    """
+    add_np = getattr(gen_add, "np_op", None)
+    add_reduce = getattr(gen_add, "np_reduce", None)
+    mul_np = getattr(gen_mult, "np_op", None)
+
+    if add_np is np.add and mul_np is np.multiply and A.dtype.kind in "fiu":
+        return add_np(acc, A @ B)
+
+    if add_np is not None and add_reduce is not None and mul_np is not None:
+        m, k = A.shape
+        n = B.shape[1]
+        chunk = max(1, _CHUNK_ELEMS // max(1, m * n))
+        out = acc
+        for k0 in range(0, k, chunk):
+            part = mul_np(A[:, k0 : k0 + chunk, None], B[None, k0 : k0 + chunk, :])
+            out = add_np(out, add_reduce(part, axis=1))
+        return out
+
+    m, k = A.shape
+    n = B.shape[1]
+    out = acc.copy()
+    for i in range(m):
+        for j in range(n):
+            v = out[i, j]
+            for kk in range(k):
+                v = gen_add(v, gen_mult(A[i, kk], B[kk, j]))
+            out[i, j] = v
+    return out
+
+
+def _require_square_torus(ctx, arr: DistArray, name: str) -> Torus2D:
+    topo = ctx.machine.topology(arr.distr)
+    if not isinstance(topo, Torus2D):
+        raise SkeletonError(
+            f"{name}: arrays must be distributed onto DISTR_TORUS2D "
+            f"(got {arr.distr})"
+        )
+    if topo.grid_rows != topo.grid_cols:
+        raise SkeletonError(
+            f"{name}: Gentleman's algorithm needs a square processor grid, "
+            f"got {topo.grid_rows}x{topo.grid_cols}"
+        )
+    return topo
+
+
+def array_gen_mult(
+    ctx,
+    a: DistArray,
+    b: DistArray,
+    gen_add: Callable,
+    gen_mult: Callable,
+    c: DistArray,
+) -> None:
+    """Compose *a* and *b* with the matrix-multiplication pattern into *c*."""
+    ctx.begin_skeleton("array_gen_mult")
+    ctx.check_distinct("array_gen_mult", a, b, c)
+    for arr in (a, b, c):
+        if arr.dim != 2:
+            raise SkeletonError("array_gen_mult applies only to 2-dimensional arrays")
+    if a.shape[1] != b.shape[0] or c.shape != (a.shape[0], b.shape[1]):
+        raise SkeletonError(
+            f"array_gen_mult: incompatible shapes {a.shape} x {b.shape} -> {c.shape}"
+        )
+    topo = _require_square_torus(ctx, a, "array_gen_mult")
+    g = topo.grid_rows
+    if a.dist.grid != (g, g) or b.dist.grid != (g, g) or c.dist.grid != (g, g):
+        raise SkeletonError("array_gen_mult: arrays must live on the torus grid")
+    shapes = {a.local(r).shape for r in range(ctx.p)}
+    shapes |= {b.local(r).shape for r in range(ctx.p)}
+    if len(shapes) != 1:
+        raise SkeletonError(
+            "array_gen_mult: partitions must be equally sized (pad the matrix "
+            "up to a multiple of the grid, as the paper does)"
+        )
+
+    # working copies: the real machine rotates partitions in place and
+    # re-aligns afterwards; we keep a/b untouched and charge the
+    # alignment communication explicitly below
+    ablk = [a.local(r).copy() for r in range(ctx.p)]
+    bblk = [b.local(r).copy() for r in range(ctx.p)]
+    accum = [c.local(r).astype(c.dtype, copy=True) for r in range(ctx.p)]
+
+    nbytes_a = ctx.wire_bytes(ablk[0].nbytes)
+    nbytes_b = ctx.wire_bytes(bblk[0].nbytes)
+    sync = ctx.sync()
+
+    def skew_pairs(kind: str, direction: int) -> list[tuple[int, int]]:
+        """(src, dst) logical pairs moving blocks by their skew distance."""
+        pairs = []
+        for r in range(ctx.p):
+            i, j = topo.grid_coords(r)
+            if kind == "a":
+                dst = topo.grid_rank(i, j - direction * i)
+            else:
+                dst = topo.grid_rank(i - direction * j, j)
+            if dst != r:
+                pairs.append((r, dst))
+        return pairs
+
+    def apply_block_perm(blocks: list[np.ndarray], pairs: list[tuple[int, int]]):
+        moved = {d: blocks[s] for s, d in pairs}
+        for d, blk in moved.items():
+            blocks[d] = blk
+
+    # -- 1. skew ---------------------------------------------------------
+    pa = skew_pairs("a", +1)
+    pb = skew_pairs("b", +1)
+    if pa:
+        ctx.net.shift(pa, nbytes_a, topo, sync=sync, tag="genmult-skew-a")
+        apply_block_perm(ablk, pa)
+    if pb:
+        ctx.net.shift(pb, nbytes_b, topo, sync=sync, tag="genmult-skew-b")
+        apply_block_perm(bblk, pb)
+
+    # -- 2. multiply / rotate rounds --------------------------------------
+    m_loc, k_loc = ablk[0].shape
+    n_loc = bblk[0].shape[1]
+    t_round = (
+        m_loc
+        * n_loc
+        * k_loc
+        * (ctx.elem_time(ops_of(gen_mult)) + ctx.elem_time(ops_of(gen_add)))
+    )
+    west_pairs = [(r, topo.west(r)) for r in range(ctx.p) if topo.west(r) != r]
+    north_pairs = [(r, topo.north(r)) for r in range(ctx.p) if topo.north(r) != r]
+    for step in range(g):
+        for r in range(ctx.p):
+            ctx.current_rank = r
+            accum[r] = semiring_block_product(
+                gen_add, gen_mult, ablk[r], bblk[r], accum[r]
+            )
+        ctx.current_rank = None
+        ctx.net.compute(t_round)
+        if step < g - 1:
+            ctx.net.shift(west_pairs, nbytes_a, topo, sync=sync, tag="genmult-rot-a")
+            apply_block_perm(ablk, west_pairs)
+            ctx.net.shift(north_pairs, nbytes_b, topo, sync=sync, tag="genmult-rot-b")
+            apply_block_perm(bblk, north_pairs)
+
+    # -- 3. unskew (restore a and b on the real machine) ------------------
+    # after the initial skew and g-1 unit rotations the blocks sit one
+    # position past their skew origin; realignment is one permutation
+    # shift per matrix, same cost class as the skew
+    if g > 1:
+        ctx.net.shift(
+            skew_pairs("a", -1), nbytes_a, topo, sync=sync, tag="genmult-unskew-a"
+        )
+        ctx.net.shift(
+            skew_pairs("b", -1), nbytes_b, topo, sync=sync, tag="genmult-unskew-b"
+        )
+
+    for r in range(ctx.p):
+        c.local(r)[...] = accum[r].astype(c.dtype, copy=False)

@@ -1,0 +1,150 @@
+"""Tests for the shortest-paths application (§4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.shortest_paths import (
+    SAT_PLUS,
+    UINT_INF,
+    random_distance_matrix,
+    round_up_to_grid,
+    shortest_paths_oracle,
+    shpaths,
+)
+from repro.errors import SkilError
+from repro.machine.costmodel import SKIL
+from repro.machine.machine import Machine
+from repro.skeletons import SkilContext
+
+
+def make_ctx(p):
+    return SkilContext(Machine(p), SKIL)
+
+
+class TestRandomDistanceMatrix:
+    def test_zero_diagonal(self):
+        a = random_distance_matrix(16, seed=1)
+        assert np.all(np.diagonal(a) == 0)
+
+    def test_weights_positive_or_inf(self):
+        a = random_distance_matrix(16, seed=1)
+        off = a[~np.eye(16, dtype=bool)]
+        assert np.all((off > 0) | np.isinf(off))
+
+    def test_density_controls_edges(self):
+        sparse = random_distance_matrix(64, density=0.05, seed=2)
+        dense = random_distance_matrix(64, density=0.8, seed=2)
+        assert np.isinf(sparse).sum() > np.isinf(dense).sum()
+
+    def test_deterministic_by_seed(self):
+        a = random_distance_matrix(16, seed=7)
+        b = random_distance_matrix(16, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRoundUp:
+    def test_paper_example(self):
+        """'e.g. n = 201 for sqrt(p) = 3'."""
+        assert round_up_to_grid(200, 3) == 201
+
+    def test_already_divisible(self):
+        assert round_up_to_grid(200, 4) == 200
+
+    @given(n=st.integers(1, 1000), g=st.integers(1, 10))
+    def test_properties(self, n, g):
+        m = round_up_to_grid(n, g)
+        assert m >= n and m % g == 0 and m - n < g
+
+
+class TestOracle:
+    def test_against_scipy(self):
+        from scipy.sparse.csgraph import shortest_path
+
+        a = random_distance_matrix(24, seed=3)
+        w = a.copy()
+        w[np.isinf(w)] = 0
+        np.testing.assert_allclose(
+            shortest_paths_oracle(a), shortest_path(w, method="D")
+        )
+
+    def test_against_networkx(self):
+        import networkx as nx
+
+        a = random_distance_matrix(12, density=0.4, seed=4)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(12))
+        for i in range(12):
+            for j in range(12):
+                if i != j and np.isfinite(a[i, j]):
+                    g.add_edge(i, j, weight=a[i, j])
+        lengths = dict(nx.all_pairs_dijkstra_path_length(g))
+        oracle = shortest_paths_oracle(a)
+        for i in range(12):
+            for j in range(12):
+                expect = lengths.get(i, {}).get(j, np.inf)
+                assert oracle[i, j] == pytest.approx(expect)
+
+
+class TestShpaths:
+    @pytest.mark.parametrize("p", [1, 4, 16])
+    def test_correct(self, p):
+        a = random_distance_matrix(16, seed=5)
+        res, rep = shpaths(make_ctx(p), a)
+        np.testing.assert_allclose(res, shortest_paths_oracle(a))
+        assert rep.p == p and rep.n == 16
+
+    def test_uint32_saturating(self):
+        """The paper's unsigned-integer representation of infinity."""
+        a = random_distance_matrix(8, seed=6)
+        res, _ = shpaths(make_ctx(4), a, dtype=np.uint32)
+        np.testing.assert_allclose(res, shortest_paths_oracle(a))
+
+    def test_sat_plus_saturates(self):
+        assert SAT_PLUS(UINT_INF, np.uint32(5)) == UINT_INF
+        assert SAT_PLUS(np.uint32(3), np.uint32(4)) == 7
+        big = np.array([UINT_INF, 10], dtype=np.uint32)
+        out = SAT_PLUS.np_op(big, np.uint32(100))
+        assert out[0] == UINT_INF and out[1] == 110
+
+    def test_rejects_indivisible_n(self):
+        a = random_distance_matrix(9, seed=0)
+        with pytest.raises(SkilError, match="divisible"):
+            shpaths(make_ctx(4), a)
+
+    def test_rejects_nonzero_diagonal(self):
+        a = random_distance_matrix(8, seed=0)
+        a[0, 0] = 5.0
+        with pytest.raises(SkilError, match="diagonal"):
+            shpaths(make_ctx(4), a)
+
+    def test_rejects_nonsquare_machine(self):
+        a = random_distance_matrix(8, seed=0)
+        with pytest.raises(SkilError, match="square"):
+            shpaths(make_ctx(8), a)  # 2x4 mesh
+
+    def test_arrays_freed_after_run(self):
+        ctx = make_ctx(4)
+        a = random_distance_matrix(8, seed=0)
+        shpaths(ctx, a)
+        assert ctx.machine.max_memory_used() == 0
+
+    def test_more_processors_faster(self):
+        a = random_distance_matrix(32, seed=8)
+        t = {}
+        for p in (1, 16):
+            _, rep = shpaths(make_ctx(p), a)
+            t[p] = rep.seconds
+        assert t[16] < t[1]
+
+    @given(
+        n=st.sampled_from([4, 8, 12]),
+        seed=st.integers(0, 100),
+        density=st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_matches_oracle(self, n, seed, density):
+        a = random_distance_matrix(n, density=density, seed=seed)
+        res, _ = shpaths(make_ctx(4), a)
+        np.testing.assert_allclose(res, shortest_paths_oracle(a))

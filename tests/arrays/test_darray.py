@@ -1,0 +1,125 @@
+"""Unit tests for the DistArray pardata."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistArray, default_grid
+from repro.errors import DistributionError, LocalityError, SkilError
+from repro.machine.machine import DISTR_DEFAULT, DISTR_TORUS2D, Machine
+
+
+@pytest.fixture
+def m4():
+    return Machine(4)
+
+
+class TestDefaultGrid:
+    def test_1d_splits_over_all(self, m4):
+        assert default_grid(m4, 1, DISTR_DEFAULT) == (4,)
+
+    def test_2d_default_is_row_block(self, m4):
+        assert default_grid(m4, 2, DISTR_DEFAULT) == (4, 1)
+
+    def test_2d_torus_is_mesh_grid(self, m4):
+        assert default_grid(m4, 2, DISTR_TORUS2D) == (2, 2)
+
+    def test_3d_row_block(self, m4):
+        assert default_grid(m4, 3, DISTR_DEFAULT) == (4, 1, 1)
+
+
+class TestRoundTrips:
+    def test_from_global_roundtrip(self, m4):
+        data = np.arange(64, dtype=np.float64).reshape(8, 8)
+        a = DistArray.from_global(m4, data, DISTR_TORUS2D)
+        np.testing.assert_array_equal(a.global_view(), data)
+
+    def test_from_global_row_block(self, m4):
+        data = np.arange(40).reshape(8, 5)
+        a = DistArray.from_global(m4, data)
+        np.testing.assert_array_equal(a.global_view(), data)
+        assert a.local(1).shape == (2, 5)
+
+    def test_structured_dtype(self, m4):
+        dt = np.dtype([("val", "f8"), ("row", "i4"), ("col", "i4")])
+        a = DistArray.uninitialized(m4, (8,), dt)
+        a.put_elem((0,), (3.5, 0, 0), rank=0)
+        assert a.get_elem((0,), rank=0)["val"] == 3.5
+
+
+class TestLocality:
+    def test_local_get_put(self, m4):
+        a = DistArray.uninitialized(m4, (8,), np.int64)
+        a.put_elem((2,), 7, rank=1)  # rank 1 owns [2, 4)
+        assert a.get_elem((2,), rank=1) == 7
+
+    def test_remote_get_raises(self, m4):
+        a = DistArray.uninitialized(m4, (8,), np.int64)
+        with pytest.raises(LocalityError):
+            a.get_elem((0,), rank=1)
+
+    def test_remote_put_raises(self, m4):
+        a = DistArray.uninitialized(m4, (8,), np.int64)
+        with pytest.raises(LocalityError):
+            a.put_elem((7,), 1, rank=0)
+
+    def test_owner(self, m4):
+        a = DistArray.uninitialized(m4, (8,), np.int64)
+        assert a.owner((0,)) == 0
+        assert a.owner((7,)) == 3
+
+
+class TestLifecycle:
+    def test_destroy_frees_memory(self, m4):
+        a = DistArray.uninitialized(m4, (8, 8), np.float64)
+        used = m4.memory_used(0)
+        assert used > 0
+        a.destroy()
+        assert m4.memory_used(0) == 0
+        assert not a.alive
+
+    def test_use_after_destroy_raises(self, m4):
+        a = DistArray.uninitialized(m4, (8,), np.float64)
+        a.destroy()
+        with pytest.raises(SkilError):
+            a.global_view()
+        with pytest.raises(SkilError):
+            a.part_bounds(0)
+        with pytest.raises(SkilError):
+            a.destroy()
+
+    def test_memory_accounted_per_partition(self, m4):
+        DistArray.uninitialized(m4, (8, 8), np.float64, DISTR_TORUS2D)
+        # each of 4 nodes holds a 4x4 float64 block
+        assert m4.memory_used(0) == 16 * 8
+
+
+class TestBlocks:
+    def test_set_local_shape_check(self, m4):
+        a = DistArray.uninitialized(m4, (8,), np.float64)
+        with pytest.raises(DistributionError):
+            a.set_local(0, np.zeros(3))
+
+    def test_set_local_casts(self, m4):
+        a = DistArray.uninitialized(m4, (8,), np.float64)
+        a.set_local(0, np.arange(2))
+        assert a.local(0).dtype == np.float64
+
+    def test_index_grids_broadcast(self, m4):
+        a = DistArray.uninitialized(m4, (8, 6), np.float64, DISTR_TORUS2D)
+        gi, gj = a.index_grids(3)  # grid position (1, 1)
+        assert gi.shape == (4, 1)
+        assert gj.shape == (1, 3)
+        assert gi[0, 0] == 4 and gj[0, 0] == 3
+
+    def test_partition_nbytes(self, m4):
+        a = DistArray.uninitialized(m4, (8, 8), np.float64, DISTR_TORUS2D)
+        assert a.partition_nbytes(0) == 16 * 8
+        assert a.max_partition_nbytes() == 16 * 8
+
+    def test_grid_machine_mismatch(self):
+        from repro.arrays.distribution import BlockDistribution
+
+        m = Machine(4)
+        dist = BlockDistribution((8,), (2,))
+        with pytest.raises(DistributionError):
+            DistArray(m, dist, np.float64)

@@ -1,0 +1,94 @@
+"""Unit tests for the generic pardata construct."""
+
+import pytest
+
+from repro.arrays.pardata import (
+    GLOBAL_REGISTRY,
+    PardataDecl,
+    PardataInstance,
+    PardataRegistry,
+)
+from repro.errors import SkilError
+from repro.machine.machine import Machine
+
+
+def _list_factory(machine, rank, elem_type):
+    return {"rank": rank, "elems": [], "type": elem_type}
+
+
+class TestDeclaration:
+    def test_declare_and_lookup(self):
+        reg = PardataRegistry()
+        d = reg.declare(PardataDecl("dlist", ("$t",), _list_factory))
+        assert reg.lookup("dlist") is d
+        assert "dlist" in reg
+
+    def test_unknown_lookup(self):
+        reg = PardataRegistry()
+        with pytest.raises(SkilError):
+            reg.lookup("nope")
+
+    def test_double_implementation_rejected(self):
+        reg = PardataRegistry()
+        reg.declare(PardataDecl("x", ("$t",), _list_factory))
+        with pytest.raises(SkilError):
+            reg.declare(PardataDecl("x", ("$t",), _list_factory))
+
+    def test_header_then_implem_merge(self):
+        """Like library prototypes: visible header, hidden body."""
+        reg = PardataRegistry()
+        reg.declare(PardataDecl("x", ("$t",)))  # header only
+        merged = reg.declare(PardataDecl("x", ("$t",), _list_factory))
+        assert merged.factory is _list_factory
+
+    def test_header_redeclared_different_params(self):
+        reg = PardataRegistry()
+        reg.declare(PardataDecl("x", ("$t",)))
+        with pytest.raises(SkilError):
+            reg.declare(PardataDecl("x", ("$a", "$b"), _list_factory))
+
+    def test_global_registry_has_array(self):
+        assert "array" in GLOBAL_REGISTRY
+        assert GLOBAL_REGISTRY.lookup("array").type_params == ("$t",)
+
+
+class TestInstantiation:
+    def test_one_local_per_rank(self):
+        reg = PardataRegistry()
+        reg.declare(PardataDecl("dlist", ("$t",), _list_factory))
+        m = Machine(4)
+        inst = reg.instantiate("dlist", m, "int")
+        for r in range(4):
+            assert inst.local(r)["rank"] == r
+            assert inst.local(r)["type"] == "int"
+
+    def test_header_only_cannot_instantiate(self):
+        m = Machine(2)
+        with pytest.raises(SkilError):
+            GLOBAL_REGISTRY.instantiate("array", m, "int")
+
+    def test_arity_checked(self):
+        reg = PardataRegistry()
+        reg.declare(PardataDecl("dlist", ("$t",), _list_factory))
+        m = Machine(2)
+        with pytest.raises(SkilError):
+            reg.instantiate("dlist", m, "int", "float")
+
+    def test_no_nested_pardata(self):
+        """'Distributed data structures may not be nested.'"""
+        reg = PardataRegistry()
+        decl = reg.declare(PardataDecl("dlist", ("$t",), _list_factory))
+        m = Machine(2)
+        inner = reg.instantiate("dlist", m, "int")
+        with pytest.raises(SkilError):
+            PardataInstance(decl, m, (inner,))
+        with pytest.raises(SkilError):
+            PardataInstance(decl, m, (decl,))
+
+    def test_bad_rank(self):
+        reg = PardataRegistry()
+        reg.declare(PardataDecl("dlist", ("$t",), _list_factory))
+        m = Machine(2)
+        inst = reg.instantiate("dlist", m, "int")
+        with pytest.raises(SkilError):
+            inst.local(5)

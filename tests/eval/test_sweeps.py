@@ -1,0 +1,123 @@
+"""Tests for the scaling-sweep utilities and the extra collectives."""
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss_simple, random_system
+from repro.eval.sweeps import (
+    ScalingPoint,
+    crossover_size,
+    format_scaling,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.machine.costmodel import CostModel, SKIL
+from repro.machine.machine import Machine
+from repro.machine.network import Network
+from repro.machine.topology import DefaultMapping, Mesh2D, Ring
+from repro.skeletons import SkilContext
+
+
+def _gauss_seconds(p: int, n: int) -> float:
+    a, b = random_system(n, seed=0)
+    ctx = SkilContext(Machine(p), SKIL)
+    _, rep = gauss_simple(ctx, a, b)
+    return rep.seconds
+
+
+class TestStrongScaling:
+    def test_speedup_monotone(self):
+        pts = strong_scaling(_gauss_seconds, 64, [1, 4, 16])
+        speedups = [pt.speedup for pt in pts]
+        assert speedups[0] == 1.0
+        assert speedups == sorted(speedups)
+
+    def test_efficiency_decays(self):
+        pts = strong_scaling(_gauss_seconds, 64, [1, 4, 16])
+        effs = [pt.efficiency for pt in pts]
+        assert all(0 < e <= 1.01 for e in effs)
+        assert effs[-1] <= effs[1]
+
+    def test_format(self):
+        pts = [ScalingPoint(1, 64, 2.0, 1.0, 1.0), ScalingPoint(4, 64, 0.6, 3.33, 0.83)]
+        text = format_scaling(pts, "strong scaling")
+        assert "strong scaling" in text and "83%" in text
+
+
+class TestWeakScaling:
+    def test_rows_per_proc_constant(self):
+        # keep rows/processor constant: n = 16 * p
+        pts = weak_scaling(_gauss_seconds, 16, [1, 2, 4])
+        assert [pt.n for pt in pts] == [16, 32, 64]
+        # gauss is O(n^3 / p) per proc => time grows ~p^2: efficiency drops
+        assert pts[-1].efficiency < pts[0].efficiency
+
+    def test_custom_n_of(self):
+        # constant-time ideal workload: n independent of p (trivial check)
+        pts = weak_scaling(lambda p, n: 1.0, 8, [1, 4], n_of=lambda p, k: k)
+        assert all(pt.efficiency == pytest.approx(1.0) for pt in pts)
+
+
+class TestCrossover:
+    def test_finds_crossover(self):
+        # a: constant overhead + linear; b: pure quadratic
+        a = lambda n: 100 + n  # noqa: E731
+        b = lambda n: n * n / 10  # noqa: E731
+        assert crossover_size(a, b, [8, 16, 32, 64, 128]) == 64
+
+    def test_none_when_never(self):
+        assert crossover_size(lambda n: 10.0, lambda n: 1.0, [1, 2, 4]) is None
+
+    def test_skil_vs_dpfl_always_wins(self):
+        """Skil beats DPFL at every size — no crossover needed."""
+        from repro.eval.harness import run_gauss
+
+        def skil(n):
+            return run_gauss("skil", 4, n).seconds
+
+        def dpfl(n):
+            return run_gauss("dpfl", 4, n).seconds
+
+        assert crossover_size(skil, dpfl, [16, 32]) == 16
+
+
+class TestExtraCollectives:
+    @pytest.fixture
+    def cost(self):
+        return CostModel(t_op=1.0, t_mem=0.0, t_setup=10.0, t_byte=1.0, t_hop=2.0)
+
+    def test_scatter_counts(self, cost):
+        net = Network(cost, 4)
+        net.scatter(0, 100, DefaultMapping(Mesh2D(2, 2)))
+        assert net.stats.messages == 3
+
+    def test_allgather_rounds(self, cost):
+        net = Network(cost, 4)
+        net.allgather(64, Ring(Mesh2D(2, 2)))
+        # p-1 rounds of p simultaneous transfers
+        assert net.stats.messages == 3 * 4
+
+    def test_allgather_single_proc(self, cost):
+        net = Network(cost, 1)
+        net.allgather(64, DefaultMapping(Mesh2D(1, 1)))
+        assert net.stats.messages == 0
+
+    def test_alltoall_power_of_two(self, cost):
+        net = Network(cost, 4)
+        net.alltoall(32, DefaultMapping(Mesh2D(2, 2)))
+        assert net.stats.messages == 3 * 4  # (p-1) rounds x p messages
+
+    def test_alltoall_non_power_of_two(self, cost):
+        net = Network(cost, 3)
+        net.alltoall(32, DefaultMapping(Mesh2D(1, 3)))
+        assert net.stats.messages == 2 * 3
+
+    def test_allgather_cheaper_than_sequential_gathers(self, cost):
+        ring = Ring(Mesh2D.for_processors(8))
+        net = Network(cost, 8)
+        net.allgather(128, ring)
+        t_ring = net.time
+        net2 = Network(cost, 8)
+        for root in range(8):
+            net2.gather(root, 128, ring)
+        assert t_ring < net2.time

@@ -1,0 +1,53 @@
+"""Tests for the trace-report breakdowns."""
+
+import pytest
+
+from repro.apps import random_distance_matrix, shpaths
+from repro.eval.trace_report import CostBreakdown, breakdown, format_breakdowns
+from repro.machine.costmodel import SKIL
+from repro.machine.machine import Machine
+from repro.machine.trace import TraceStats
+from repro.skeletons import SkilContext
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self):
+        b = CostBreakdown("x", 1.0, 6.0, 3.0, 1.0, 10, 1000, 5)
+        assert b.compute_share + b.comm_share + b.idle_share == pytest.approx(1.0)
+        assert b.compute_share == pytest.approx(0.6)
+
+    def test_empty_run(self):
+        b = breakdown("empty", 0.0, TraceStats())
+        assert b.compute_share == 0.0
+        assert b.busy_total == 0.0
+
+    def test_from_real_run(self):
+        ctx = SkilContext(Machine(16), SKIL)
+        dist = random_distance_matrix(32, seed=1)
+        _, rep = shpaths(ctx, dist)
+        b = breakdown("shpaths-16", rep.seconds, ctx.machine.stats)
+        assert b.makespan == rep.seconds
+        assert b.compute_share > 0.5  # compute-dominated at this size
+        assert b.messages == ctx.machine.stats.messages
+
+    def test_small_partitions_shift_to_comm(self):
+        """The paper's efficiency-cliff explanation, quantitatively:
+        shrinking the partitions grows the communication+idle share."""
+        shares = {}
+        for p in (4, 64):
+            ctx = SkilContext(Machine(p), SKIL)
+            dist = random_distance_matrix(32, seed=2)
+            _, rep = shpaths(ctx, dist)
+            b = breakdown(f"p{p}", rep.seconds, ctx.machine.stats)
+            shares[p] = b.comm_share + b.idle_share
+        assert shares[64] > shares[4]
+
+    def test_format_table(self):
+        rows = [
+            CostBreakdown("skil", 1.5, 8.0, 1.0, 1.0, 42, 2e6, 10),
+            CostBreakdown("dpfl", 9.0, 55.0, 6.0, 2.0, 42, 12e6, 10),
+        ]
+        text = format_breakdowns(rows)
+        assert "skil" in text and "dpfl" in text
+        assert "80%" in text  # skil compute share
+        assert "2.00" in text  # MB sent

@@ -1,0 +1,138 @@
+"""Robustness/fuzz tests: the front end must fail *predictably*.
+
+Whatever bytes arrive, the lexer/parser/checker may only raise the
+documented `SkilError` subclasses — never `IndexError`, `RecursionError`
+(within reason) or silent misparses.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SkilError
+from repro.lang import compile_skil, parse, tokenize
+from repro.lang.lexer import tokenize as lex
+from repro.lang.tokens import TokKind
+
+
+class TestLexerTotal:
+    @given(st.text(alphabet=string.printable, max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_tokenize_total(self, text):
+        """Any printable input either tokenizes or raises SkilError."""
+        try:
+            toks = lex(text)
+        except SkilError:
+            return
+        assert toks[-1].kind is TokKind.EOF
+
+    @given(st.text(alphabet="(){}[];,<>=+-*/%&|!$._ \n\t0123456789abc\"'",
+                   max_size=300))
+    @settings(max_examples=150, deadline=None)
+    def test_parser_never_crashes(self, text):
+        try:
+            parse(text)
+        except SkilError:
+            pass
+        except RecursionError:
+            pytest.skip("pathological nesting")
+
+    @given(st.text(alphabet=string.ascii_letters + " (){};$", max_size=120))
+    @settings(max_examples=100, deadline=None)
+    def test_compile_never_crashes(self, text):
+        try:
+            compile_skil(text)
+        except SkilError:
+            pass
+
+
+class TestLexerRoundTripTokens:
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["int", "x", "42", "3.5", "+", "(", ")", "{", "}", ";",
+                 "$t", "->", "<=", "=="]
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_token_stream_stable(self, pieces):
+        """Lexing space-joined tokens yields exactly those tokens."""
+        text = " ".join(pieces)
+        toks = [t.text for t in lex(text)[:-1]]
+        assert toks == pieces
+
+
+class TestDiagnosticQuality:
+    """Error messages must carry position and name information."""
+
+    def test_lexer_position(self):
+        with pytest.raises(SkilError, match="2:"):
+            tokenize("ok\n  @")
+
+    def test_parser_mentions_offending_token(self):
+        with pytest.raises(SkilError, match="near"):
+            parse("int f ( ; ) { }")
+
+    def test_unknown_identifier_named(self):
+        with pytest.raises(SkilError, match="mysterious"):
+            compile_skil("int f () { return mysterious; }")
+
+    def test_unknown_function_named(self):
+        with pytest.raises(SkilError, match="frobnicate"):
+            compile_skil("int f (int x) { return frobnicate (x); }")
+
+    def test_arity_error_mentions_line(self):
+        with pytest.raises(SkilError, match="line"):
+            compile_skil(
+                "int g (int a) { return a; }\n"
+                "int f () { return g (1, 2); }"
+            )
+
+    def test_pardata_nesting_message(self):
+        with pytest.raises(SkilError, match="nested"):
+            compile_skil(
+                "void f (array<array<int>> a) { }"
+            )
+
+    def test_locality_error_mentions_partition(self):
+        import numpy as np
+
+        from repro.arrays.darray import DistArray
+        from repro.errors import LocalityError
+        from repro.machine.machine import Machine
+
+        a = DistArray.uninitialized(Machine(4), (8,), np.float64)
+        with pytest.raises(LocalityError, match="partition"):
+            a.get_elem((7,), rank=0)
+
+
+class TestDeepNesting:
+    def test_deep_expression_nesting(self):
+        expr = "x" + " + x" * 500
+        mod = compile_skil(f"int f (int x) {{ return {expr}; }}")
+        from repro.machine.costmodel import SKIL
+        from repro.machine.machine import Machine
+        from repro.skeletons import SkilContext
+
+        assert mod.run("f", 1, ctx=SkilContext(Machine(1), SKIL)) == 501
+
+    def test_deep_paren_nesting_raises_cleanly(self):
+        src = "int f (int x) { return " + "(" * 2000 + "x" + ")" * 2000 + "; }"
+        try:
+            compile_skil(src)
+        except (SkilError, RecursionError):
+            pass  # either outcome is acceptable; no other exception is
+
+    def test_many_functions(self):
+        parts = [f"int f{i} (int x) {{ return x + {i}; }}" for i in range(200)]
+        src = "\n".join(parts)
+        mod = compile_skil(src)
+        from repro.machine.costmodel import SKIL
+        from repro.machine.machine import Machine
+        from repro.skeletons import SkilContext
+
+        assert mod.run("f199", 1, ctx=SkilContext(Machine(1), SKIL)) == 200

@@ -1,0 +1,146 @@
+"""Tests for the compiled-program runtime shims."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro.lang.runtime as rt
+from repro.errors import SkilRuntimeError
+from repro.skeletons import MAX, MIN, PLUS
+from repro.skeletons import skil_fn
+
+
+class TestCDivMod:
+    def test_truncation_toward_zero(self):
+        assert rt.c_div(7, 2) == 3
+        assert rt.c_div(-7, 2) == -3
+        assert rt.c_div(7, -2) == -3
+        assert rt.c_div(-7, -2) == 3
+
+    def test_mod_sign_follows_dividend(self):
+        assert rt.c_mod(7, 2) == 1
+        assert rt.c_mod(-7, 2) == -1
+
+    @given(a=st.integers(-1000, 1000), b=st.integers(-100, 100).filter(bool))
+    def test_div_mod_identity(self, a, b):
+        assert rt.c_div(a, b) * b + rt.c_mod(a, b) == a
+
+    @given(a=st.integers(-1000, 1000), b=st.integers(-100, 100).filter(bool))
+    def test_matches_c_semantics(self, a, b):
+        import math
+
+        q = rt.c_div(a, b)
+        assert q == math.trunc(a / b)
+
+
+class TestDtypes:
+    def test_primitive_mapping(self):
+        assert rt.dtype_of("int") == np.int64
+        assert rt.dtype_of("unsigned") == np.uint64
+        assert rt.dtype_of("float") == np.float32
+        assert rt.dtype_of("double") == np.float64
+
+    def test_unknown_dtype(self):
+        with pytest.raises(SkilRuntimeError):
+            rt.dtype_of("quaternion")
+
+    def test_struct_registration(self):
+        rt.register_struct("_testrec", [("val", "float"), ("row", "int")])
+        dt = rt.struct_dtype("_testrec")
+        assert dt.names == ("val", "row")
+        rec = rt.new_struct("_testrec")
+        rec["val"] = 2.5
+        assert rec["val"] == np.float32(2.5)
+
+    def test_struct_unknown_field_type(self):
+        with pytest.raises(SkilRuntimeError):
+            rt.register_struct("_bad", [("p", "pointer")])
+
+    def test_unknown_struct(self):
+        with pytest.raises(SkilRuntimeError):
+            rt.struct_dtype("_nope")
+
+    def test_unsigned_headroom(self):
+        """UINT_MAX + weight must not wrap (the paper's overflow worry)."""
+        inf = np.uint64(rt.UINT_MAX)
+        assert inf + np.uint64(100) > inf
+
+
+class TestSections:
+    def test_lookup(self):
+        assert rt.section("+") is PLUS
+        assert rt.section("min") is MIN
+        assert rt.section("max") is MAX
+
+    def test_unknown(self):
+        with pytest.raises(SkilRuntimeError):
+            rt.section("**")
+
+    def test_min_max_fns(self):
+        assert rt.min_fn(2, 5) == 2
+        assert rt.max_fn(2, 5) == 5
+
+
+class TestMakeKernel:
+    def test_binding_order(self):
+        f = lambda a, b, c: (a, b, c)  # noqa: E731
+        k = rt.make_kernel(f, (1, 2), ops=3.0)
+        assert k(9) == (1, 2, 9)
+        assert k.ops == 3.0
+
+    def test_no_bound(self):
+        f = lambda x: x * 2  # noqa: E731
+        k = rt.make_kernel(f, (), ops=1.5)
+        assert k(21) == 42
+        assert k.ops == 1.5
+
+    def test_vectorized_propagated(self):
+        @skil_fn(ops=1, vectorized=lambda k, blk, g, e: blk + k)
+        def f(k, v, ix):
+            return v + k
+
+        kern = rt.make_kernel(f, (10,), ops=1.0)
+        out = kern.vectorized(np.arange(3), None, None)
+        np.testing.assert_array_equal(out, [10, 11, 12])
+
+    def test_vectorized_propagated_unbound(self):
+        @skil_fn(ops=1, vectorized=lambda blk, g, e: blk * 2)
+        def f(v, ix):
+            return v * 2
+
+        kern = rt.make_kernel(f, (), ops=1.0)
+        np.testing.assert_array_equal(kern.vectorized(np.arange(3), None, None),
+                                      [0, 2, 4])
+
+
+class TestHelpers:
+    def test_log2_squaring_iterations(self):
+        assert rt.log2(8) == 3
+        assert rt.log2(200) == 8  # ceil(log2(200))
+        assert rt.log2(1) == 1  # at least one squaring
+
+    def test_cast(self):
+        assert rt.cast("int", 3.9) == 3
+        assert rt.cast("double", 3) == 3.0
+        with pytest.raises(SkilRuntimeError):
+            rt.cast("void", 0)
+
+    def test_error_raises(self):
+        with pytest.raises(SkilRuntimeError, match="boom"):
+            rt.error("boom")
+
+    def test_proc_id_outside_skeleton(self):
+        from repro.errors import SkeletonError
+
+        with pytest.raises(SkeletonError):
+            rt.proc_id()
+
+    def test_bounds_member(self):
+        from repro.arrays.distribution import Bounds
+
+        b = Bounds((0, 2), (4, 8))
+        assert rt.bounds_member(b, "lowerBd") == (0, 2)
+        assert rt.bounds_member(b, "upperBd") == (3, 7)
+        with pytest.raises(SkilRuntimeError):
+            rt.bounds_member(b, "middleBd")

@@ -1,0 +1,99 @@
+"""Tests for .skil file compilation and the shipped example sources."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.lang import compile_skil_file
+from repro.machine.costmodel import SKIL
+from repro.machine.machine import Machine
+from repro.skeletons import SkilContext
+
+SKIL_DIR = Path(__file__).resolve().parents[2] / "examples" / "skil"
+
+
+def ctx(p=4):
+    return SkilContext(Machine(p), SKIL)
+
+
+class TestCompileSkilFile:
+    def test_loads_from_disk(self):
+        mod = compile_skil_file(SKIL_DIR / "connectivity.skil")
+        assert "closure" in mod.entry_names()
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            compile_skil_file(SKIL_DIR / "nope.skil")
+
+
+class TestConnectivity:
+    def _run(self, n, p, density, seed):
+        rng = np.random.default_rng(seed)
+        adj = (rng.random((n, n)) < density).astype(np.int64)
+        np.fill_diagonal(adj, 1)
+        mod = compile_skil_file(SKIL_DIR / "connectivity.skil")
+        out = mod.run("closure", n, ctx=ctx(p),
+                      externals={"adj": lambda ix: adj[ix]})
+        return adj, out.global_view().astype(bool)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        adj, reach = self._run(16, 4, 0.1, 1)
+        g = nx.from_numpy_array(adj, create_using=nx.DiGraph)
+        for i, reachable in nx.all_pairs_shortest_path_length(g):
+            for j in range(16):
+                assert reach[i, j] == (j in reachable)
+
+    def test_fully_connected(self):
+        adj, reach = self._run(8, 4, 1.0, 2)
+        assert reach.all()
+
+    def test_disconnected_stays_disconnected(self):
+        n = 8
+        adj = np.eye(n, dtype=np.int64)  # no edges at all
+        mod = compile_skil_file(SKIL_DIR / "connectivity.skil")
+        out = mod.run("closure", n, ctx=ctx(),
+                      externals={"adj": lambda ix: adj[ix]})
+        np.testing.assert_array_equal(out.global_view(), np.eye(n))
+
+    def test_boolean_semiring_is_idempotent(self):
+        """Running the closure twice changes nothing (A* is a fixpoint)."""
+        adj, reach1 = self._run(16, 4, 0.08, 3)
+        mod = compile_skil_file(SKIL_DIR / "connectivity.skil")
+        closed = reach1.astype(np.int64)
+        out2 = mod.run("closure", 16, ctx=ctx(),
+                       externals={"adj": lambda ix: closed[ix]})
+        np.testing.assert_array_equal(out2.global_view().astype(bool), reach1)
+
+
+class TestStats:
+    def test_zscores(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(3.0, 1.5, size=32).astype(np.float32)
+        mod = compile_skil_file(SKIL_DIR / "stats.skil")
+        out = mod.run("zscores", 32, ctx=ctx(),
+                      externals={"sample": lambda ix: data[ix[0]]})
+        z = out.global_view()
+        mean = data.mean()
+        var = np.mean(data**2) - mean**2
+        np.testing.assert_allclose(z, (data - mean) / np.sqrt(var), rtol=1e-4)
+
+    def test_computed_lifted_argument(self):
+        """standardize(mean, sqrt(variance)) lifts *expressions*, not
+        just identifiers — they must be evaluated once at the call."""
+        mod = compile_skil_file(SKIL_DIR / "stats.skil")
+        assert "make_kernel(standardize_1" in mod.python_source
+
+    def test_constant_data_rejected_gracefully(self):
+        """Zero variance divides by zero: numpy semantics (inf/nan), no
+        crash — the Skil program mirrors the C one here."""
+        data = np.ones(16, dtype=np.float32)
+        mod = compile_skil_file(SKIL_DIR / "stats.skil")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = mod.run("zscores", 16, ctx=ctx(),
+                          externals={"sample": lambda ix: data[ix[0]]})
+            assert not np.isfinite(out.global_view()).all() or np.allclose(
+                out.global_view(), 0.0
+            )

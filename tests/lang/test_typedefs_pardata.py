@@ -1,0 +1,87 @@
+"""Tests for parameterized typedefs and user pardata declarations."""
+
+import pytest
+
+from repro.errors import SkilError, SkilSyntaxError, SkilTypeError
+from repro.lang import compile_skil, parse
+from repro.lang.typecheck import check
+from repro.lang.types import INT, TPardata, TPointer, TStruct
+
+
+class TestParameterizedTypedefs:
+    LIST_DECL = (
+        "struct _list {$t elem; struct _list *next;};\n"
+        "typedef struct _list * list<$t>;\n"
+    )
+
+    def test_paper_list_declaration_parses(self):
+        prog = parse(self.LIST_DECL)
+        td = prog.decls[1]
+        assert td.name == "list"
+        assert td.type_params == ("$t",)
+
+    def test_instantiated_typedef_substitutes(self):
+        prog = parse(
+            self.LIST_DECL + "void f (list<int> xs) { }"
+        )
+        p = prog.decls[2].params[0]
+        assert isinstance(p.ty, TPointer)
+        inner = p.ty.target
+        assert isinstance(inner, TStruct)
+        assert dict(inner.fields)["elem"] == INT
+
+    def test_member_access_through_typedef(self):
+        src = self.LIST_DECL + (
+            "int head (list<int> xs) { return xs->elem; }"
+        )
+        cp = check(parse(src))
+        assert "head" in cp.functions
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SkilSyntaxError, match="type argument"):
+            parse(self.LIST_DECL + "void f (list<int, float> xs) { }")
+
+    def test_monomorphic_typedef(self):
+        cp = check(parse("typedef unsigned weight;\n"
+                         "weight f (weight w) { return w + 1; }"))
+        assert "f" in cp.functions
+
+    def test_typedef_of_pardata(self):
+        """A typedef may abbreviate a concrete array type."""
+        from repro.lang.types import FLOAT
+
+        prog = parse("typedef array<float> matrix;\n"
+                     "void f (matrix m) { }")
+        assert prog.decls[1].params[0].ty == TPardata("array", (FLOAT,))
+
+
+class TestUserPardata:
+    def test_header_declares_type_name(self):
+        prog = parse("pardata dvec <$t>;\nvoid f (dvec<int> v) { }")
+        assert prog.decls[1].params[0].ty == TPardata("dvec", (INT,))
+
+    def test_pardata_passes_through_functions(self):
+        src = (
+            "pardata dvec <$t>;\n"
+            "dvec<$t> ident (dvec<$t> v) { return v; }\n"
+        )
+        cp = check(parse(src))
+        assert "ident" in cp.functions
+
+    def test_pardata_rejected_by_array_skeletons(self):
+        """A user pardata is not the builtin array: skeleton calls on it
+        must fail the type check, not silently coerce."""
+        src = (
+            "pardata dvec <$t>;\n"
+            "void f (dvec<int> v, array<int> a) { array_copy (v, a); }"
+        )
+        with pytest.raises(SkilTypeError):
+            check(parse(src))
+
+    def test_nested_user_pardata_rejected(self):
+        with pytest.raises(SkilError, match="nested"):
+            parse("pardata dvec <$t>;\nvoid f (dvec<dvec<int>> v) { }")
+
+    def test_array_of_user_pardata_rejected(self):
+        with pytest.raises(SkilError, match="nested"):
+            parse("pardata dvec <$t>;\nvoid f (array<dvec<int>> v) { }")

@@ -1,0 +1,247 @@
+"""Unit + property tests for the type system and the type checker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SkilTypeError
+from repro.lang.parser import parse
+from repro.lang.typecheck import check
+from repro.lang.types import (
+    DOUBLE,
+    INDEX,
+    INT,
+    SIZE,
+    Subst,
+    TArray,
+    TFun,
+    TPardata,
+    TPointer,
+    TPrim,
+    TStruct,
+    TVar,
+    contains_pardata,
+    fresh_var,
+)
+
+
+# --------------------------------------------------------------------------- types
+class TestUnification:
+    def test_var_binds(self):
+        s = Subst()
+        v = fresh_var()
+        s.unify(v, INT)
+        assert s.apply(v) == INT
+
+    def test_symmetric(self):
+        s = Subst()
+        v = fresh_var()
+        s.unify(INT, v)
+        assert s.apply(v) == INT
+
+    def test_function_types(self):
+        s = Subst()
+        a, b = fresh_var(), fresh_var()
+        s.unify(TFun((a,), b), TFun((INT,), DOUBLE))
+        assert s.apply(a) == INT
+        assert s.apply(b) == DOUBLE
+
+    def test_arity_mismatch(self):
+        s = Subst()
+        with pytest.raises(SkilTypeError):
+            s.unify(TFun((INT,), INT), TFun((INT, INT), INT))
+
+    def test_occurs_check(self):
+        s = Subst()
+        v = fresh_var()
+        with pytest.raises(SkilTypeError):
+            s.unify(v, TFun((v,), INT))
+
+    def test_index_size_compatible(self):
+        s = Subst()
+        s.unify(INDEX, SIZE)  # both "classical arrays with dim elements"
+
+    def test_numeric_conversion(self):
+        s = Subst()
+        s.unify(INT, DOUBLE)  # C-style implicit conversion
+
+    def test_struct_name_mismatch(self):
+        s = Subst()
+        with pytest.raises(SkilTypeError):
+            s.unify(TStruct("a"), TStruct("b"))
+
+    def test_pardata_unify(self):
+        s = Subst()
+        v = fresh_var()
+        s.unify(TPardata("array", (v,)), TPardata("array", (INT,)))
+        assert s.apply(v) == INT
+
+    def test_no_nested_pardata(self):
+        """'Distributed data structures may not be nested.'"""
+        s = Subst()
+        v = fresh_var()
+        with pytest.raises(SkilTypeError):
+            s.unify(
+                TPardata("array", (v,)),
+                TPardata("array", (TPardata("array", (INT,)),)),
+            )
+
+    def test_no_pardata_in_compound(self):
+        """Type variables inside compound types may not become pardata."""
+        s = Subst()
+        v = fresh_var()
+        with pytest.raises(SkilTypeError):
+            s.unify(TFun((v,), INT), TFun((TPardata("array", (INT,)),), INT))
+
+    def test_instantiate_fresh(self):
+        s = Subst()
+        v = TVar("$t")
+        t = TFun((v,), v)
+        inst1 = s.instantiate(t)
+        inst2 = s.instantiate(t)
+        assert inst1.params[0] != inst2.params[0]  # fresh per instantiation
+        assert inst1.params[0] == inst1.ret  # sharing preserved
+
+    @given(st.sampled_from([INT, DOUBLE, TPointer(INT), TArray(INT, 4)]))
+    def test_unify_reflexive(self, t):
+        s = Subst()
+        s.unify(t, t)
+
+    def test_contains_pardata(self):
+        assert contains_pardata(TPardata("array", (INT,)))
+        assert contains_pardata(TFun((TPardata("array", (INT,)),), INT))
+        assert not contains_pardata(TFun((INT,), INT))
+
+
+# --------------------------------------------------------------------------- checker
+def check_src(src: str):
+    return check(parse(src))
+
+
+class TestTypeChecker:
+    def test_monomorphic_function(self):
+        check_src("int add (int x, int y) { return x + y; }")
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(SkilTypeError):
+            check_src('int f () { return "hello"; }')
+
+    def test_polymorphic_identity(self):
+        cp = check_src("$t id ($t x) { return x; }\n"
+                       "int g (int v) { return id (v); }")
+        assert "id" in cp.functions
+
+    def test_polymorphic_reuse_at_two_types(self):
+        check_src(
+            "$t id ($t x) { return x; }\n"
+            "int g (int v) { return id (v); }\n"
+            "float h (float v) { return id (v); }"
+        )
+
+    def test_higher_order_function(self):
+        check_src(
+            "$b apply ($b f ($a), $a x) { return f (x); }\n"
+            "int inc (int x) { return x + 1; }\n"
+            "int g (int v) { return apply (inc, v); }"
+        )
+
+    def test_partial_application_marks_call(self):
+        cp = check_src(
+            "int add3 (int a, int b, int c) { return a + b + c; }\n"
+            "$b apply ($b f ($a), $a x) { return f (x); }\n"
+            "int g (int v) { return apply (add3 (1, 2), v); }"
+        )
+        g = cp.functions["g"]
+        outer = g.body.stmts[0].value
+        partial = outer.args[0]
+        assert partial.partial
+
+    def test_too_many_args_rejected(self):
+        with pytest.raises(SkilTypeError):
+            check_src("int f (int x) { return x; }\n"
+                      "int g () { return f (1, 2); }")
+
+    def test_unknown_identifier(self):
+        with pytest.raises(SkilTypeError):
+            check_src("int f () { return mystery; }")
+
+    def test_skeleton_signatures_known(self):
+        check_src(
+            "void f (array<int> a, array<int> b) { array_copy (a, b); }"
+        )
+
+    def test_array_copy_type_mismatch(self):
+        with pytest.raises(SkilTypeError):
+            check_src(
+                "void f (array<int> a, array<float> b) { array_copy (a, b); }"
+            )
+
+    def test_fold_result_type(self):
+        check_src(
+            "float conv (int v, Index ix) { return (float) v; }\n"
+            "float f (array<int> a) { return array_fold (conv, (+), a); }"
+        )
+
+    def test_implicit_loop_variable(self):
+        """The paper writes `for (i = 0; ...)` without declaring i."""
+        check_src("void f (int n) { for (i = 0; i < n; i++) { } }")
+
+    def test_bounds_members(self):
+        check_src(
+            "int f (array<int> a) {\n"
+            "  Bounds b = array_part_bounds (a);\n"
+            "  return b->lowerBd[0] + b->upperBd[1];\n"
+            "}"
+        )
+
+    def test_bad_bounds_member(self):
+        with pytest.raises(SkilTypeError):
+            check_src(
+                "int f (array<int> a) {\n"
+                "  Bounds b = array_part_bounds (a);\n"
+                "  return b->nosuch[0];\n"
+                "}"
+            )
+
+    def test_struct_member_types(self):
+        check_src(
+            "struct _e {float val; int row;};\n"
+            "typedef struct _e elemrec;\n"
+            "float f (elemrec e) { return e.val; }"
+        )
+
+    def test_struct_unknown_member(self):
+        with pytest.raises(SkilTypeError):
+            check_src(
+                "struct _e {float val;};\n"
+                "typedef struct _e elemrec;\n"
+                "float f (elemrec e) { return e.nope; }"
+            )
+
+    def test_brace_list_is_index(self):
+        check_src(
+            "int f (array<int> a) { return array_get_elem (a, {0, 1}); }"
+        )
+
+    def test_index_components_are_int(self):
+        check_src("int f (Index ix) { return ix[0] + ix[1]; }")
+
+    def test_redefined_function(self):
+        with pytest.raises(SkilTypeError):
+            check_src("int f () { return 1; }\nint f () { return 2; }")
+
+    def test_operator_section_type(self):
+        check_src(
+            "int f (array<int> a) {\n"
+            "  return array_fold (conv, (+), a);\n"
+            "}\n"
+            "int conv (int v, Index ix) { return v; }"
+        )
+
+    def test_gen_mult_distinct_elem_types_rejected(self):
+        with pytest.raises(SkilTypeError):
+            check_src(
+                "void f (array<int> a, array<float> b, array<int> c) {\n"
+                "  array_gen_mult (a, b, (+), (*), c);\n"
+                "}"
+            )

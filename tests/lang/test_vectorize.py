@@ -1,0 +1,176 @@
+"""Tests for the compiler's kernel vectorizer pass."""
+
+import numpy as np
+import pytest
+
+from repro.lang import compile_skil
+from repro.machine.costmodel import SKIL
+from repro.machine.machine import Machine
+from repro.skeletons import SkilContext
+
+
+def ctx(p=4):
+    return SkilContext(Machine(p), SKIL)
+
+
+def _compile_map_kernel(body: str, extra: str = "") -> tuple:
+    """Compile a 1-arg map over a 16x16 float array and run both paths."""
+    src = f"""
+    float init_f (Index ix);
+    float zero (Index ix) {{ return 0.0; }}
+    {extra}
+    float kern (float v, Index ix) {{ {body} }}
+    void go (int n) {{
+      array<float> A, B;
+      A = array_create (2, {{n,n}}, {{0,0}}, {{-1,-1}}, init_f, DISTR_DEFAULT);
+      B = array_create (2, {{n,n}}, {{0,0}}, {{-1,-1}}, zero, DISTR_DEFAULT);
+      array_map (kern, A, B);
+      array_put_result (B);
+    }}
+    """
+    return src
+
+
+class TestVectorizedKernelsEmitted:
+    def test_simple_expression(self):
+        mod = compile_skil(
+            "float zero (Index ix) { return 0.0; }\n"
+            "float dbl (float v, Index ix) { return v * 2.0; }\n"
+            "void go (int n, array<float> a, array<float> b)\n"
+            "{ array_map (dbl, a, b); }"
+        )
+        assert "_vec_dbl_1" in mod.python_source
+        assert "dbl_1.vectorized = _vec_dbl_1" in mod.python_source
+
+    def test_index_dependent(self):
+        mod = compile_skil(
+            "float f (float v, Index ix) { return v + ix[0] * ix[1]; }\n"
+            "void go (array<float> a, array<float> b) { array_map (f, a, b); }"
+        )
+        assert "__grids[0]" in mod.python_source
+
+    def test_varying_conditional_becomes_where(self):
+        mod = compile_skil(
+            "float f (int k, float v, Index ix) {\n"
+            "  if (ix[1] < k) return v; else return v * 2.0; }\n"
+            "void go (int k, array<float> a, array<float> b)\n"
+            "{ array_map (f (k), a, b); }"
+        )
+        assert "_np.where" in mod.python_source
+
+    def test_uniform_conditional_stays_python(self):
+        mod = compile_skil(
+            "$t f (array<$t> src, int k, $t v, Index ix) {\n"
+            "  Bounds bds = array_part_bounds (src);\n"
+            "  if (bds->lowerBd[0] <= k && k <= bds->upperBd[0])\n"
+            "    return v + v;\n"
+            "  else return v; }\n"
+            "void go (int k, array<float> a, array<float> b)\n"
+            "{ array_map (f (a, k), a, b); }"
+        )
+        body = mod.python_source.split("def _vec_f_1")[1]
+        assert "if (" in body
+
+    def test_unsupported_body_stays_scalar(self):
+        """A while loop is outside the subset — no kernel emitted."""
+        mod = compile_skil(
+            "float f (float v, Index ix) {\n"
+            "  s = 0.0; while (s < v) s = s + 1.0; return s; }\n"
+            "void go (array<float> a, array<float> b) { array_map (f, a, b); }"
+        )
+        assert "_vec_f_1" not in mod.python_source
+
+    def test_struct_kernel_stays_scalar(self):
+        from repro.apps.skil_sources import GAUSS_SKIL
+
+        mod = compile_skil(GAUSS_SKIL)
+        assert "_vec_make_elemrec" not in mod.python_source
+        assert "eliminate_1.vectorized" in mod.python_source
+
+
+class TestVectorizedSemantics:
+    def _run_both(self, src, entry, *args, externals=None):
+        """Run with vectorization and with kernels forced scalar."""
+        mod = compile_skil(src)
+        c1 = ctx()
+        r1 = mod.run(entry, *args, ctx=c1, externals=externals or {})
+
+        # strip the vectorized attributes and run again
+        mod2 = compile_skil(src)
+        for name, obj in list(mod2.namespace.items()):
+            if hasattr(obj, "vectorized"):
+                del obj.vectorized
+        c2 = ctx()
+        r2 = mod2.run(entry, *args, ctx=c2, externals=externals or {})
+        return r1, r2, c1, c2
+
+    SRC = """
+    float init_f (Index ix);
+    float zero (Index ix) { return 0.0; }
+    float f (float t, float v, Index ix) {
+      if (v >= t) return v - t;
+      else return ix[0] + ix[1] * 0.5;
+    }
+    array<float> go (int n, float t) {
+      array<float> A, B;
+      A = array_create (2, {n,n}, {0,0}, {-1,-1}, init_f, DISTR_DEFAULT);
+      B = array_create (2, {n,n}, {0,0}, {-1,-1}, zero, DISTR_DEFAULT);
+      array_map (f (t), A, B);
+      array_destroy (A);
+      return B;
+    }
+    """
+
+    def test_scalar_and_vector_agree(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(0, 10, (16, 16))
+        ext = {"init_f": lambda ix: data[ix]}
+        r1, r2, c1, c2 = self._run_both(self.SRC, "go", 16, 5.0, externals=ext)
+        np.testing.assert_allclose(r1.global_view(), r2.global_view())
+
+    def test_simulated_time_identical(self):
+        """Vectorization is a wall-clock optimisation only — the charged
+        machine time must not change."""
+        rng = np.random.default_rng(1)
+        data = rng.uniform(0, 10, (16, 16))
+        ext = {"init_f": lambda ix: data[ix]}
+        r1, r2, c1, c2 = self._run_both(self.SRC, "go", 16, 5.0, externals=ext)
+        assert c1.machine.time == pytest.approx(c2.machine.time)
+
+    def test_gather_kernel(self):
+        src = """
+        float init_f (Index ix);
+        float zero (Index ix) { return 0.0; }
+        $t stretch (array<$t> src, int k, $t v, Index ix) {
+          return v + array_get_elem (src, {ix[0], k});
+        }
+        array<float> go (int n, int k) {
+          array<float> A, B;
+          A = array_create (2, {n,n}, {0,0}, {-1,-1}, init_f, DISTR_DEFAULT);
+          B = array_create (2, {n,n}, {0,0}, {-1,-1}, zero, DISTR_DEFAULT);
+          array_map (stretch (A, k), A, B);
+          return B;
+        }
+        """
+        rng = np.random.default_rng(2)
+        data = rng.uniform(0, 1, (8, 8))
+        mod = compile_skil(src)
+        assert "vec_gather" in mod.python_source
+        out = mod.run("go", 8, 3, ctx=ctx(),
+                      externals={"init_f": lambda ix: data[ix]})
+        expect = data + data[:, 3:4].astype(np.float32)
+        np.testing.assert_allclose(out.global_view(), expect, rtol=1e-6)
+
+
+class TestRuntimeVecGather:
+    def test_gather_shapes(self):
+        from repro.arrays.darray import DistArray
+        from repro.lang.runtime import vec_gather
+        from repro.skeletons.base import MapEnv
+
+        m = Machine(4)
+        data = np.arange(32.0).reshape(8, 4)
+        arr = DistArray.from_global(m, data)  # row-block: 2 rows per rank
+        env = MapEnv(None, 1, arr.part_bounds(1))
+        col = vec_gather(arr, np.array([[2], [3]]), 1, env)
+        np.testing.assert_array_equal(col.ravel(), [data[2, 1], data[3, 1]])

@@ -1,0 +1,120 @@
+"""Tests for the engine's ANY_SOURCE wildcard receive."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.machine.costmodel import CostModel
+from repro.machine.engine import ANY_SOURCE, Compute, ISend, Recv, Send, run_spmd
+from repro.machine.topology import DefaultMapping, Mesh2D
+
+
+@pytest.fixture
+def cost():
+    return CostModel(t_op=1.0, t_mem=0.0, t_setup=10.0, t_byte=1.0, t_hop=2.0)
+
+
+@pytest.fixture
+def topo():
+    return DefaultMapping(Mesh2D(2, 2))
+
+
+def test_wildcard_matches_earliest_arrival(cost, topo):
+    """Rank 0 must receive the nearer/earlier message first."""
+    order = []
+
+    def prog(rank, p):
+        if rank == 1:
+            yield ISend(0, payload="from1", nbytes=10, tag="t")
+        elif rank == 2:
+            yield Compute(1000.0)  # sends much later
+            yield ISend(0, payload="from2", nbytes=10, tag="t")
+        elif rank == 0:
+            order.append((yield Recv(ANY_SOURCE, tag="t")))
+            order.append((yield Recv(ANY_SOURCE, tag="t")))
+
+    run_spmd(cost, topo, prog)
+    assert order == ["from1", "from2"]
+
+
+def test_wildcard_tie_breaks_lowest_rank(cost):
+    """Simultaneous arrivals resolve deterministically."""
+    topo = DefaultMapping(Mesh2D(1, 3))
+    got = []
+
+    def prog(rank, p):
+        if rank == 0:
+            got.append((yield Recv(ANY_SOURCE, tag="t")))
+        elif rank in (1, 2):
+            # rank 2 is 2 hops away; give it a head start so both
+            # messages arrive at exactly the same instant
+            if rank == 2:
+                pass
+            else:
+                yield Compute(102.0)  # 1 extra hop = (2 + 10*10) ... tuned below
+            yield ISend(0, payload=rank, nbytes=10, tag="t")
+
+    run_spmd(cost, topo, prog)
+    assert got[0] in (1, 2)  # deterministic either way:
+    t1 = run_spmd(cost, topo, prog)
+    assert got[0] == got[1]
+
+
+def test_wildcard_blocks_until_any_send(cost, topo):
+    def prog(rank, p):
+        if rank == 0:
+            v = yield Recv(ANY_SOURCE, tag="t")
+            assert v == "late"
+        elif rank == 3:
+            yield Compute(500.0)
+            yield ISend(0, payload="late", nbytes=10, tag="t")
+
+    t = run_spmd(cost, topo, prog)
+    assert t > 500.0
+
+
+def test_wildcard_with_sync_send(cost, topo):
+    def prog(rank, p):
+        if rank == 0:
+            v = yield Recv(ANY_SOURCE, tag="t")
+            assert v == 42
+        elif rank == 2:
+            yield Send(0, payload=42, nbytes=10, tag="t")
+
+    run_spmd(cost, topo, prog)
+
+
+def test_wildcard_respects_tags(cost, topo):
+    got = []
+
+    def prog(rank, p):
+        if rank == 0:
+            got.append((yield Recv(ANY_SOURCE, tag="b")))
+        elif rank == 1:
+            yield ISend(0, payload="wrong", nbytes=10, tag="a")
+            yield ISend(0, payload="right", nbytes=10, tag="b")
+
+    run_spmd(cost, topo, prog)
+    assert got == ["right"]
+
+
+def test_wildcard_deadlock_detected(cost, topo):
+    def prog(rank, p):
+        if rank == 0:
+            yield Recv(ANY_SOURCE, tag="never")
+
+    with pytest.raises(DeadlockError):
+        run_spmd(cost, topo, prog)
+
+
+def test_interleaved_specific_and_wildcard(cost, topo):
+    got = {}
+
+    def prog(rank, p):
+        if rank == 0:
+            got["specific"] = yield Recv(2, tag="t")
+            got["any"] = yield Recv(ANY_SOURCE, tag="t")
+        elif rank in (1, 2):
+            yield ISend(0, payload=rank, nbytes=10, tag="t")
+
+    run_spmd(cost, topo, prog)
+    assert got == {"specific": 2, "any": 1}

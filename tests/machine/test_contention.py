@@ -1,0 +1,130 @@
+"""Tests for XY routing and the optional link-contention model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.costmodel import CostModel
+from repro.machine.network import Network
+from repro.machine.topology import DefaultMapping, Mesh2D, Ring, Torus2D
+
+
+@pytest.fixture
+def cost():
+    return CostModel(t_op=1.0, t_mem=0.0, t_setup=10.0, t_byte=1.0, t_hop=2.0)
+
+
+class TestRouteLinks:
+    def test_route_length_equals_hops(self):
+        m = Mesh2D(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                assert len(m.route_links(src, dst)) == m.hops(src, dst)
+
+    def test_x_then_y(self):
+        m = Mesh2D(3, 3)
+        # 0 (0,0) -> 8 (2,2): east, east, south, south
+        route = m.route_links(0, 8)
+        assert route == [(0, 1), (1, 2), (2, 5), (5, 8)]
+
+    def test_empty_route_for_self(self):
+        m = Mesh2D(2, 2)
+        assert m.route_links(3, 3) == []
+
+    def test_links_are_adjacent(self):
+        m = Mesh2D(4, 5)
+        for a, b in m.route_links(0, 19):
+            assert m.hops(a, b) == 1
+
+    @given(
+        src=st.integers(0, 15),
+        dst=st.integers(0, 15),
+    )
+    @settings(max_examples=40)
+    def test_route_connects_endpoints(self, src, dst):
+        m = Mesh2D(4, 4)
+        route = m.route_links(src, dst)
+        if not route:
+            assert src == dst
+            return
+        assert route[0][0] == src
+        assert route[-1][1] == dst
+        for (a, b), (c, d) in zip(route, route[1:]):
+            assert b == c  # contiguous
+
+
+class TestContention:
+    def test_disjoint_transfers_unaffected(self, cost):
+        """Neighbour rotations use disjoint links: contention changes
+        nothing — the assumption the default mode makes globally."""
+        ring = Ring(Mesh2D(2, 2))
+        pairs = [(i, ring.succ(i)) for i in range(4)]
+        a = Network(cost, 4, link_contention=False)
+        a.shift(pairs, 100, ring)
+        b = Network(cost, 4, link_contention=True)
+        b.shift(pairs, 100, ring)
+        assert a.time == pytest.approx(b.time)
+
+    def test_shared_link_serializes(self, cost):
+        """Two transfers crossing the same directed link each take ~2x."""
+        topo = DefaultMapping(Mesh2D(1, 4))
+        # 0 -> 2 and 1 -> 3 both cross the (1, 2) link eastward
+        pairs = [(0, 2), (1, 3)]
+        free = Network(cost, 4, link_contention=False)
+        free.shift(pairs, 100, topo)
+        jam = Network(cost, 4, link_contention=True)
+        jam.shift(pairs, 100, topo)
+        assert jam.time > free.time
+        assert jam.time < free.time * 2.5
+
+    def test_opposite_directions_do_not_contend(self, cost):
+        """Transputer links are bidirectional pairs: east and west
+        traffic uses different directed channels."""
+        topo = DefaultMapping(Mesh2D(1, 2))
+        pairs = [(0, 1), (1, 0)]
+        free = Network(cost, 2, link_contention=False)
+        free.shift(pairs, 100, topo)
+        jam = Network(cost, 2, link_contention=True)
+        jam.shift(pairs, 100, topo)
+        assert jam.time == pytest.approx(free.time)
+
+    def test_contention_scales_with_overlap(self, cost):
+        """Four transfers over one link are slower than two."""
+        topo = DefaultMapping(Mesh2D(1, 8))
+        two = Network(cost, 8, link_contention=True)
+        two.shift([(0, 4), (1, 5)], 100, topo)
+        four = Network(cost, 8, link_contention=True)
+        four.shift([(0, 4), (1, 5), (2, 6), (3, 7)], 100, topo)
+        assert four.time > two.time
+
+    def test_gen_mult_rotations_contention_free(self, cost):
+        """Torus rotations on the folded embedding stay near-disjoint:
+        enabling contention must not blow up gen_mult's comm time."""
+        import numpy as np
+
+        from repro.machine.machine import Machine
+        from repro.machine.costmodel import SKIL
+        from repro.skeletons import PLUS, TIMES, SkilContext
+        from repro.arrays.darray import DistArray
+
+        def run(contention):
+            m = Machine(16)
+            m.network.link_contention = contention
+            ctx = SkilContext(m, SKIL)
+            rng = np.random.default_rng(0)
+            A = rng.uniform(size=(16, 16))
+            a = DistArray.from_global(m, A, "DISTR_TORUS2D")
+            b = DistArray.from_global(m, A, "DISTR_TORUS2D")
+            c = DistArray.from_global(m, np.zeros((16, 16)), "DISTR_TORUS2D")
+            ctx.array_gen_mult(a, b, PLUS, TIMES, c)
+            return m.time
+
+        assert run(True) < run(False) * 1.6
+
+
+class TestMachinePassthrough:
+    def test_machine_flag_reaches_network(self):
+        from repro.machine.machine import Machine
+
+        assert Machine(4, link_contention=True).network.link_contention
+        assert not Machine(4).network.link_contention

@@ -1,0 +1,124 @@
+"""Property tests of the analytic network layer's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.costmodel import CostModel
+from repro.machine.network import Network
+from repro.machine.topology import DefaultMapping, Mesh2D, Ring
+
+
+COST = CostModel(t_op=1.0, t_mem=0.1, t_setup=10.0, t_byte=1.0, t_hop=2.0)
+
+
+def _random_ops(rng, net, topo, n_ops):
+    """Apply a random mix of network operations; returns an op log."""
+    log = []
+    for _ in range(n_ops):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            sec = float(rng.uniform(0, 50))
+            net.compute(sec)
+            log.append(("compute", sec))
+        elif kind == 1:
+            s, d = map(int, rng.choice(net.p, size=2, replace=False))
+            nb = int(rng.integers(1, 500))
+            net.p2p(s, d, nb, topo)
+            log.append(("p2p", s, d, nb))
+        elif kind == 2:
+            root = int(rng.integers(net.p))
+            nb = int(rng.integers(1, 300))
+            net.broadcast(root, nb, topo)
+            log.append(("bcast", root, nb))
+        else:
+            nb = int(rng.integers(1, 300))
+            net.allreduce(nb, topo)
+            log.append(("allreduce", nb))
+    return log
+
+
+class TestClockInvariants:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_clocks_never_decrease(self, seed):
+        rng = np.random.default_rng(seed)
+        net = Network(COST, 8)
+        topo = DefaultMapping(Mesh2D.for_processors(8))
+        prev = net.clocks.copy()
+        for _ in range(15):
+            _random_ops(rng, net, topo, 1)
+            assert np.all(net.clocks >= prev - 1e-12)
+            prev = net.clocks.copy()
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_replay(self, seed):
+        def run():
+            rng = np.random.default_rng(seed)
+            net = Network(COST, 8)
+            topo = DefaultMapping(Mesh2D.for_processors(8))
+            _random_ops(rng, net, topo, 20)
+            return net.clocks.copy()
+
+        np.testing.assert_array_equal(run(), run())
+
+    @given(seed=st.integers(0, 10**6), extra=st.integers(1, 400))
+    @settings(max_examples=20, deadline=None)
+    def test_extra_message_never_speeds_up(self, seed, extra):
+        """Monotonicity: inserting one more message cannot reduce the
+        final makespan."""
+        def run(with_extra):
+            rng = np.random.default_rng(seed)
+            net = Network(COST, 8)
+            topo = DefaultMapping(Mesh2D.for_processors(8))
+            _random_ops(rng, net, topo, 8)
+            if with_extra:
+                net.p2p(0, 7, extra, topo)
+            _random_ops(rng, net, topo, 8)
+            return net.time
+
+        assert run(True) >= run(False) - 1e-12
+
+    @given(
+        nbytes=st.integers(1, 10_000),
+        sync=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sync_never_faster_than_async(self, nbytes, sync):
+        topo = DefaultMapping(Mesh2D(2, 2))
+        a = Network(COST, 4)
+        a.compute([5.0, 1.0, 0.0, 0.0])
+        a.p2p(0, 1, nbytes, topo, sync=False)
+        s = Network(COST, 4)
+        s.compute([5.0, 1.0, 0.0, 0.0])
+        s.p2p(0, 1, nbytes, topo, sync=True)
+        assert s.time >= a.time - 1e-12
+
+    def test_barrier_idempotent(self):
+        net = Network(COST, 8)
+        topo = DefaultMapping(Mesh2D.for_processors(8))
+        net.compute(np.arange(8.0))
+        net.barrier(topo)
+        t1 = net.time
+        clocks1 = net.clocks.copy()
+        net.barrier(topo)
+        # second barrier adds its own (fixed) cost but keeps clocks equal
+        assert np.all(net.clocks == net.clocks[0])
+        assert net.time >= t1
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_stats_bytes_match_log(self, seed):
+        rng = np.random.default_rng(seed)
+        net = Network(COST, 4)
+        topo = DefaultMapping(Mesh2D(2, 2))
+        total = 0
+        for _ in range(10):
+            s, d = map(int, rng.choice(4, size=2, replace=False))
+            nb = int(rng.integers(1, 100))
+            net.p2p(s, d, nb, topo)
+            total += nb
+        assert net.stats.bytes_sent == total
+        assert net.stats.messages == 10

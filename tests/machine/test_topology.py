@@ -1,0 +1,220 @@
+"""Unit tests for hardware and virtual topologies."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.machine.topology import (
+    BinomialTree,
+    DefaultMapping,
+    Mesh2D,
+    Ring,
+    Torus2D,
+    square_grid,
+)
+
+
+class TestSquareGrid:
+    def test_perfect_squares(self):
+        assert square_grid(4) == (2, 2)
+        assert square_grid(64) == (8, 8)
+
+    def test_rectangles(self):
+        assert square_grid(32) == (4, 8)
+        assert square_grid(2) == (1, 2)
+        assert square_grid(12) == (3, 4)
+
+    def test_prime(self):
+        assert square_grid(7) == (1, 7)
+
+    def test_one(self):
+        assert square_grid(1) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            square_grid(0)
+        with pytest.raises(TopologyError):
+            square_grid(-3)
+
+    @given(st.integers(min_value=1, max_value=512))
+    def test_product_is_p(self, p):
+        r, c = square_grid(p)
+        assert r * c == p
+        assert r <= c
+
+
+class TestMesh2D:
+    def test_coords_roundtrip(self):
+        m = Mesh2D(4, 4)
+        for rank in range(16):
+            r, c = m.coords(rank)
+            assert m.rank_of(r, c) == rank
+
+    def test_hops_is_manhattan(self):
+        m = Mesh2D(4, 4)
+        assert m.hops(0, 0) == 0
+        assert m.hops(0, 3) == 3
+        assert m.hops(0, 15) == 6
+        assert m.hops(5, 10) == 2
+
+    def test_hops_symmetric(self):
+        m = Mesh2D(3, 5)
+        for a in range(m.p):
+            for b in range(m.p):
+                assert m.hops(a, b) == m.hops(b, a)
+
+    def test_neighbors_corner_edge_center(self):
+        m = Mesh2D(3, 3)
+        assert sorted(m.neighbors(0)) == [1, 3]
+        assert sorted(m.neighbors(1)) == [0, 2, 4]
+        assert sorted(m.neighbors(4)) == [1, 3, 5, 7]
+
+    def test_neighbors_are_one_hop(self):
+        m = Mesh2D(4, 5)
+        for r in range(m.p):
+            for n in m.neighbors(r):
+                assert m.hops(r, n) == 1
+
+    def test_bad_shape(self):
+        with pytest.raises(TopologyError):
+            Mesh2D(0, 4)
+
+    def test_bad_rank(self):
+        m = Mesh2D(2, 2)
+        with pytest.raises(TopologyError):
+            m.coords(4)
+        with pytest.raises(TopologyError):
+            m.hops(0, -1)
+
+    def test_for_processors(self):
+        m = Mesh2D.for_processors(64)
+        assert (m.rows, m.cols) == (8, 8)
+
+
+class TestRing:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6, 9, 16, 64])
+    def test_place_is_permutation(self, p):
+        ring = Ring(Mesh2D.for_processors(p))
+        assert sorted(ring.place(i) for i in range(p)) == list(range(p))
+
+    def test_snake_gives_dilation_one(self):
+        ring = Ring(Mesh2D(4, 4))
+        # all edges except the closing one cost exactly 1 hop
+        costs = [ring.edge_hops(i, ring.succ(i)) for i in range(15)]
+        assert costs == [1] * 15
+
+    def test_closing_edge_cost(self):
+        ring = Ring(Mesh2D(4, 4))
+        assert ring.edge_hops(15, ring.succ(15)) == 3  # back up the rows
+
+    def test_succ_pred_inverse(self):
+        ring = Ring(Mesh2D(3, 3))
+        for i in range(9):
+            assert ring.pred(ring.succ(i)) == i
+
+    def test_edges_cover_all(self):
+        ring = Ring(Mesh2D(2, 3))
+        assert len(list(ring.edges())) == 6
+
+
+class TestTorus2D:
+    def test_grid_coords_roundtrip(self):
+        t = Torus2D(Mesh2D(4, 4))
+        for i in range(16):
+            r, c = t.grid_coords(i)
+            assert t.grid_rank(r, c) == i
+
+    def test_neighbor_wraparound(self):
+        t = Torus2D(Mesh2D(4, 4))
+        assert t.east(3) == 0
+        assert t.west(0) == 3
+        assert t.south(12) == 0
+        assert t.north(0) == 12
+
+    def test_folded_embedding_bounded_dilation(self):
+        t = Torus2D(Mesh2D(8, 8), folded=True)
+        for i in range(64):
+            for n in (t.east(i), t.west(i), t.north(i), t.south(i)):
+                assert t.edge_hops(i, n) <= 2
+
+    def test_naive_embedding_long_wrap(self):
+        t = Torus2D(Mesh2D(8, 8), folded=False)
+        # wrap-around along a row crosses the whole mesh
+        assert t.edge_hops(7, t.east(7)) == 7
+        # interior edges stay short
+        assert t.edge_hops(0, t.east(0)) == 1
+
+    @pytest.mark.parametrize("folded", [True, False])
+    def test_place_is_permutation(self, folded):
+        t = Torus2D(Mesh2D(4, 8), folded=folded)
+        assert sorted(t.place(i) for i in range(32)) == list(range(32))
+
+    def test_bad_rank(self):
+        t = Torus2D(Mesh2D(2, 2))
+        with pytest.raises(TopologyError):
+            t.grid_coords(4)
+
+    def test_rotation_permutations(self):
+        t = Torus2D(Mesh2D(4, 4))
+        east = [t.east(i) for i in range(16)]
+        south = [t.south(i) for i in range(16)]
+        assert sorted(east) == list(range(16))
+        assert sorted(south) == list(range(16))
+
+
+class TestBinomialTree:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8, 16, 64])
+    def test_broadcast_reaches_everyone(self, p):
+        tree = BinomialTree(Mesh2D.for_processors(p))
+        informed = {0}
+        for rnd in tree.broadcast_rounds():
+            for s, d in rnd:
+                assert s in informed, "sender must already be informed"
+                assert d not in informed, "no duplicate delivery"
+                informed.add(d)
+        assert informed == set(range(p))
+
+    @pytest.mark.parametrize("p", [2, 5, 8, 13, 64])
+    def test_round_count_is_log(self, p):
+        tree = BinomialTree(Mesh2D.for_processors(p))
+        assert len(tree.broadcast_rounds()) == math.ceil(math.log2(p))
+
+    def test_nonzero_root(self):
+        tree = BinomialTree(Mesh2D.for_processors(8), root=5)
+        informed = {5}
+        for rnd in tree.broadcast_rounds():
+            for s, d in rnd:
+                assert s in informed
+                informed.add(d)
+        assert informed == set(range(8))
+
+    def test_reduce_is_reversed_broadcast(self):
+        tree = BinomialTree(Mesh2D.for_processors(16))
+        bcast = tree.broadcast_rounds()
+        red = tree.reduce_rounds()
+        assert len(bcast) == len(red)
+        flipped = [[(d, s) for (s, d) in rnd] for rnd in reversed(bcast)]
+        assert red == flipped
+
+    def test_bad_root(self):
+        with pytest.raises(TopologyError):
+            BinomialTree(Mesh2D(2, 2), root=9)
+
+    def test_single_node(self):
+        tree = BinomialTree(Mesh2D(1, 1))
+        assert tree.broadcast_rounds() == []
+
+
+class TestDefaultMapping:
+    def test_identity_placement(self):
+        d = DefaultMapping(Mesh2D(3, 3))
+        for i in range(9):
+            assert d.place(i) == i
+
+    def test_edges_are_mesh_links(self):
+        d = DefaultMapping(Mesh2D(2, 2))
+        for s, t in d.edges():
+            assert d.edge_hops(s, t) == 1

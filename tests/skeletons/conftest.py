@@ -1,0 +1,53 @@
+"""Shared fixtures and annotated argument functions for skeleton tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine.costmodel import DPFL, PARIX_C, SKIL
+from repro.machine.machine import DISTR_TORUS2D, Machine
+from repro.skeletons import SkilContext, skil_fn
+
+
+@pytest.fixture
+def ctx4():
+    """4-processor context under the Skil profile."""
+    return SkilContext(Machine(4), SKIL)
+
+
+@pytest.fixture
+def ctx16():
+    return SkilContext(Machine(16), SKIL)
+
+
+@pytest.fixture
+def ctx1():
+    return SkilContext(Machine(1), SKIL)
+
+
+def make_ctx(p, profile=SKIL):
+    return SkilContext(Machine(p), profile)
+
+
+@skil_fn(ops=1, vectorized=lambda grids, env: grids[0] * 1000 + grids[1])
+def init_2d(ix):
+    """Element = row * 1000 + col (unique, order-revealing)."""
+    return ix[0] * 1000 + ix[1]
+
+
+@skil_fn(ops=1, vectorized=lambda grids, env: grids[0] * 1.0)
+def init_1d(ix):
+    return float(ix[0])
+
+
+@skil_fn(ops=0)
+def zero(ix):
+    return 0.0
+
+
+def create_2d(ctx, n, m=None, init=init_2d, distr=DISTR_TORUS2D, dtype=np.float64):
+    m = n if m is None else m
+    return ctx.array_create(2, (n, m), (0, 0), (-1, -1), init, distr, dtype=dtype)
+
+
+def create_1d(ctx, n, init=init_1d, dtype=np.float64):
+    return ctx.array_create(1, (n,), (0,), (-1,), init, dtype=dtype)

@@ -1,0 +1,147 @@
+"""Tests for the future-work extension skeletons (DESIGN.md §5)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistArray
+from repro.errors import SkeletonError
+from repro.machine.machine import Machine
+from repro.skeletons import skil_fn
+
+from .conftest import create_1d, create_2d, make_ctx, zero
+
+
+def _smooth_vec(padded, pad, grids, env):
+    r0, c0 = pad
+    r1 = r0 + grids[0].size
+    c1 = c0 + grids[1].size
+    center = padded[r0:r1, c0:c1]
+
+    def sh(dr, dc):
+        rs, cs = slice(r0 + dr, r1 + dr), slice(c0 + dc, c1 + dc)
+        if rs.start < 0 or rs.stop > padded.shape[0] or cs.start < 0 or (
+            cs.stop > padded.shape[1]
+        ):
+            out = center.copy()
+            if dr == -1:
+                out[1:] = center[:-1]
+            elif dr == 1:
+                out[:-1] = center[1:]
+            if dc == -1:
+                out[:, 1:] = center[:, :-1]
+            elif dc == 1:
+                out[:, :-1] = center[:, 1:]
+            return out
+        return padded[rs, cs]
+
+    return (center + sh(-1, 0) + sh(1, 0) + sh(0, -1) + sh(0, 1)) / 5.0
+
+
+@skil_fn(ops=5, vectorized=_smooth_vec)
+def smooth(get, ix):
+    return (get(0, 0) + get(-1, 0) + get(1, 0) + get(0, -1) + get(0, 1)) / 5.0
+
+
+def _oracle_smooth(t):
+    up = np.vstack([t[:1], t[:-1]])
+    down = np.vstack([t[1:], t[-1:]])
+    left = np.hstack([t[:, :1], t[:, :-1]])
+    right = np.hstack([t[:, 1:], t[:, -1:]])
+    return (t + up + down + left + right) / 5.0
+
+
+class TestMapOverlap:
+    def test_vectorized_matches_oracle(self, ctx4):
+        src = create_2d(ctx4, 8, distr="DISTR_DEFAULT")
+        dst = create_2d(ctx4, 8, init=zero, distr="DISTR_DEFAULT")
+        ctx4.array_map_overlap(smooth, src, dst, overlap=1)
+        np.testing.assert_allclose(
+            dst.global_view(), _oracle_smooth(src.global_view())
+        )
+
+    def test_scalar_matches_vectorized(self, ctx4):
+        scalar_only = skil_fn(ops=5)(
+            lambda get, ix: (get(0, 0) + get(-1, 0) + get(1, 0)
+                             + get(0, -1) + get(0, 1)) / 5.0
+        )
+        src = create_2d(ctx4, 8, distr="DISTR_DEFAULT")
+        d1 = create_2d(ctx4, 8, init=zero, distr="DISTR_DEFAULT")
+        d2 = create_2d(ctx4, 8, init=zero, distr="DISTR_DEFAULT")
+        ctx4.array_map_overlap(scalar_only, src, d1, overlap=1)
+        ctx4.array_map_overlap(smooth, src, d2, overlap=1)
+        np.testing.assert_allclose(d1.global_view(), d2.global_view())
+
+    def test_1d_stencil(self, ctx4):
+        src = create_1d(ctx4, 16)
+        dst = create_1d(ctx4, 16, init=zero)
+        avg = skil_fn(ops=3)(lambda get, ix: (get(-1) + get(0) + get(1)) / 3.0)
+        ctx4.array_map_overlap(avg, src, dst, overlap=1)
+        t = src.global_view()
+        expect = (np.r_[t[:1], t[:-1]] + t + np.r_[t[1:], t[-1:]]) / 3.0
+        np.testing.assert_allclose(dst.global_view(), expect)
+
+    def test_halo_messages_charged(self, ctx4):
+        src = create_2d(ctx4, 8, distr="DISTR_DEFAULT")
+        dst = create_2d(ctx4, 8, init=zero, distr="DISTR_DEFAULT")
+        ctx4.machine.reset()
+        ctx4.array_map_overlap(smooth, src, dst, overlap=1)
+        # row-block over 4 procs: 3 forward + 3 backward halo messages
+        assert ctx4.machine.stats.messages == 6
+
+    def test_in_situ_rejected(self, ctx4):
+        src = create_2d(ctx4, 8, distr="DISTR_DEFAULT")
+        with pytest.raises(SkeletonError, match="in-situ"):
+            ctx4.array_map_overlap(smooth, src, src, overlap=1)
+
+    def test_access_beyond_overlap_rejected(self, ctx4):
+        src = create_1d(ctx4, 8)
+        dst = create_1d(ctx4, 8, init=zero)
+        greedy = skil_fn(ops=1)(lambda get, ix: get(3))
+        with pytest.raises(SkeletonError, match="exceeds overlap"):
+            ctx4.array_map_overlap(greedy, src, dst, overlap=1)
+
+    def test_invalid_overlap(self, ctx4):
+        src = create_1d(ctx4, 8)
+        dst = create_1d(ctx4, 8, init=zero)
+        with pytest.raises(SkeletonError):
+            ctx4.array_map_overlap(smooth, src, dst, overlap=0)
+
+    def test_wider_overlap(self, ctx4):
+        src = create_1d(ctx4, 16)
+        dst = create_1d(ctx4, 16, init=zero)
+        wide = skil_fn(ops=2)(lambda get, ix: get(-2) + get(2))
+        ctx4.array_map_overlap(wide, src, dst, overlap=2)
+        t = src.global_view()
+        l2 = np.r_[t[:1], t[:1], t[:-2]]
+        r2 = np.r_[t[2:], t[-1:], t[-1:]]
+        np.testing.assert_allclose(dst.global_view(), l2 + r2)
+
+    def test_single_processor_no_messages(self, ctx1):
+        src = create_1d(ctx1, 8)
+        dst = create_1d(ctx1, 8, init=zero)
+        ctx1.machine.reset()
+        avg = skil_fn(ops=3)(lambda get, ix: (get(-1) + get(0) + get(1)) / 3.0)
+        ctx1.array_map_overlap(avg, src, dst, overlap=1)
+        assert ctx1.machine.stats.messages == 0
+
+
+class TestJacobiConvergence:
+    """Integration: repeated overlap-maps behave like a PDE solver."""
+
+    def test_diffusion_conserves_nothing_but_converges(self, ctx4):
+        n = 16
+        hot = skil_fn(
+            ops=1,
+            vectorized=lambda grids, env: np.where(
+                (grids[0] == n // 2) & (grids[1] == n // 2), 100.0, 0.0
+            ),
+        )(lambda ix: 100.0 if ix == (n // 2, n // 2) else 0.0)
+        cur = ctx4.array_create(2, (n, n), (0, 0), (-1, -1), hot, "DISTR_DEFAULT")
+        new = create_2d(ctx4, n, init=zero, distr="DISTR_DEFAULT")
+        peaks = [cur.global_view().max()]
+        for _ in range(10):
+            ctx4.array_map_overlap(smooth, cur, new, overlap=1)
+            cur, new = new, cur
+            peaks.append(cur.global_view().max())
+        assert peaks == sorted(peaks, reverse=True)  # heat spreads out
+        assert peaks[-1] < peaks[0] / 3

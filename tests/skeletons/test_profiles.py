@@ -1,0 +1,101 @@
+"""Per-skeleton language-profile ordering: every skeleton must charge
+C <= Skil <= DPFL on identical work — the invariant behind the paper's
+entire evaluation section."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistArray
+from repro.machine.costmodel import DPFL, PARIX_C, SKIL
+from repro.machine.machine import DISTR_DEFAULT, DISTR_TORUS2D, Machine
+from repro.skeletons import MIN, PLUS, TIMES, SkilContext, skil_fn
+
+N = 16
+
+double = skil_fn(ops=1, vectorized=lambda blk, g, e: blk * 2)(lambda v, ix: v * 2)
+ident = skil_fn(ops=0)(lambda v, ix: v)
+init = skil_fn(ops=1, vectorized=lambda g, e: g[0] + g[1])(
+    lambda ix: ix[0] + ix[1]
+)
+
+
+def run_skeleton(profile, op: str) -> float:
+    m = Machine(4)
+    ctx = SkilContext(m, profile)
+    rng = np.random.default_rng(0)
+    data = rng.uniform(size=(N, N))
+    distr = DISTR_TORUS2D if op == "gen_mult" else DISTR_DEFAULT
+    a = DistArray.from_global(m, data, distr)
+    b = DistArray.from_global(m, data, distr)
+    c = DistArray.from_global(m, np.zeros((N, N)), distr)
+    m.reset()
+    if op == "create":
+        ctx.array_create(2, (N, N), (0, 0), (-1, -1), init, DISTR_DEFAULT)
+    elif op == "map":
+        ctx.array_map(double, a, b)
+    elif op == "fold":
+        ctx.array_fold(ident, PLUS, a)
+    elif op == "copy":
+        ctx.array_copy(a, b)
+    elif op == "broadcast_part":
+        ctx.array_broadcast_part(a, (0, 0))
+    elif op == "permute_rows":
+        ctx.array_permute_rows(a, lambda i: (i + 1) % N, b)
+    elif op == "gen_mult":
+        ctx.array_gen_mult(a, b, PLUS, TIMES, c)
+    elif op == "zip":
+        ctx.array_zip(
+            skil_fn(ops=1, vectorized=lambda x, y, g, e: x + y)(
+                lambda x, y, ix: x + y
+            ), a, b, c,
+        )
+    elif op == "scan":
+        a1 = DistArray.from_global(m, np.arange(float(N)))
+        b1 = DistArray.from_global(m, np.zeros(N))
+        m.reset()
+        ctx.array_scan(PLUS, a1, b1)
+    else:  # pragma: no cover
+        raise ValueError(op)
+    return m.time
+
+
+ALL_OPS = ["create", "map", "fold", "copy", "broadcast_part",
+           "permute_rows", "gen_mult", "zip", "scan"]
+
+
+@pytest.mark.parametrize("op", ALL_OPS)
+def test_profile_ordering(op):
+    t_c = run_skeleton(PARIX_C, op)
+    t_s = run_skeleton(SKIL, op)
+    t_d = run_skeleton(DPFL, op)
+    assert t_c <= t_s <= t_d, (op, t_c, t_s, t_d)
+
+
+@pytest.mark.parametrize("op", ALL_OPS)
+def test_results_identical_across_profiles(op):
+    """Profiles change cost only — never semantics.  Running the same
+    skeleton under each profile must leave identical array contents."""
+    outputs = {}
+    for prof in (PARIX_C, SKIL, DPFL):
+        m = Machine(4)
+        ctx = SkilContext(m, prof)
+        rng = np.random.default_rng(1)
+        data = rng.uniform(size=(N, N))
+        distr = DISTR_TORUS2D if op == "gen_mult" else DISTR_DEFAULT
+        a = DistArray.from_global(m, data, distr)
+        b = DistArray.from_global(m, data, distr)
+        c = DistArray.from_global(m, np.zeros((N, N)), distr)
+        if op == "map":
+            ctx.array_map(double, a, b)
+            outputs[prof.name] = b.global_view()
+        elif op == "fold":
+            outputs[prof.name] = np.array([ctx.array_fold(ident, PLUS, a)])
+        elif op == "gen_mult":
+            ctx.array_gen_mult(a, b, PLUS, TIMES, c)
+            outputs[prof.name] = c.global_view()
+        else:
+            ctx.array_copy(a, c)
+            outputs[prof.name] = c.global_view()
+    ref = outputs["parix-c"]
+    for name, out in outputs.items():
+        np.testing.assert_allclose(out, ref, err_msg=f"{op} under {name}")
