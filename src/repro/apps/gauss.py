@@ -285,3 +285,58 @@ def gauss_full(
 @skil_fn(ops=1)
 def _switch_rows_fn(r1, r2, i):
     return switch_rows(r1, r2, i)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run Gaussian elimination standalone, optionally writing a trace."""
+    import argparse
+
+    from repro.machine.costmodel import SKIL
+    from repro.machine.machine import Machine
+    from repro.skeletons import SkilContext
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps.gauss",
+        description="Gaussian elimination on the simulated machine.",
+    )
+    parser.add_argument("--p", type=int, default=8, help="number of processors")
+    parser.add_argument("--n", type=int, default=48, help="system size")
+    parser.add_argument("--seed", type=int, default=0, help="system seed")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the complete variant with partial pivoting (§4.2)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON (open in Perfetto)",
+    )
+    args = parser.parse_args(argv)
+    if args.n % args.p != 0:
+        args.n += args.p - args.n % args.p  # the paper assumes p | n
+
+    machine = Machine(args.p, trace_level=2 if args.trace else 0)
+    ctx = SkilContext(machine, SKIL)
+    a_mat, rhs = random_system(args.n, seed=args.seed)
+    driver = gauss_full if args.full else gauss_simple
+    _, report = driver(ctx, a_mat, rhs)
+    variant = "gauss-full" if args.full else "gauss"
+    print(
+        f"{variant} p={args.p} n={args.n}: {report.seconds:.3f} simulated s, "
+        f"{machine.stats.messages} messages, "
+        f"{machine.stats.bytes_sent / 1e6:.2f} MB sent"
+    )
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, machine)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -185,3 +185,50 @@ def shpaths(
     return result, report
 
 
+def main(argv: list[str] | None = None) -> int:
+    """Run shpaths standalone, optionally writing a Chrome trace."""
+    import argparse
+
+    from repro.machine.costmodel import SKIL
+    from repro.machine.machine import Machine
+    from repro.skeletons import SkilContext
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps.shortest_paths",
+        description="All-pairs shortest paths on the simulated machine.",
+    )
+    parser.add_argument("--p", type=int, default=9, help="number of processors")
+    parser.add_argument("--n", type=int, default=48, help="graph size")
+    parser.add_argument("--seed", type=int, default=0, help="matrix seed")
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON (open in Perfetto)",
+    )
+    args = parser.parse_args(argv)
+
+    machine = Machine(args.p, trace_level=2 if args.trace else 0)
+    ctx = SkilContext(machine, SKIL)
+    n = round_up_to_grid(args.n, machine.mesh.rows)
+    dist = random_distance_matrix(n, density=0.25, seed=args.seed)
+    _, report = shpaths(ctx, dist)
+    print(
+        f"shpaths p={args.p} n={n}: {report.seconds:.3f} simulated s, "
+        f"{machine.stats.messages} messages, "
+        f"{machine.stats.bytes_sent / 1e6:.2f} MB sent"
+    )
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, machine)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())
+
+

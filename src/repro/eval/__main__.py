@@ -7,6 +7,8 @@ Usage::
    python -m repro.eval figure1 [--scale 0.25] [--csv]
    python -m repro.eval ablations [--scale 0.25]
    python -m repro.eval all [--scale 0.25]
+   python -m repro.eval trace [--app gauss-full] [--p 9] [--n 48]
+                              [--json trace.json]
 
 ``--scale 1.0`` (the default) runs the paper's exact problem sizes —
 the Table 2 grid takes a few minutes of wall-clock time because the
@@ -40,8 +42,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "what",
-        choices=["table1", "table2", "figure1", "ablations", "all"],
-        help="which artefact to regenerate",
+        choices=["table1", "table2", "figure1", "ablations", "all", "trace"],
+        help="which artefact to regenerate (or 'trace': profile one run)",
     )
     parser.add_argument(
         "--scale",
@@ -59,9 +61,45 @@ def main(argv: list[str] | None = None) -> int:
         help="also write each artefact into DIR (table1.txt, table2.txt, "
         "figure1.txt, figure1_*.csv, ablations.txt)",
     )
+    parser.add_argument(
+        "--app",
+        choices=["shpaths", "gauss", "gauss-full"],
+        default="gauss-full",
+        help="trace: which application to run",
+    )
+    parser.add_argument(
+        "--p", type=int, default=9, help="trace: number of processors"
+    )
+    parser.add_argument(
+        "--n", type=int, default=48, help="trace: problem size"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="trace: write a Chrome trace-event JSON (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--level",
+        type=int,
+        choices=[1, 2],
+        default=2,
+        help="trace: 1 = spans + metrics, 2 = also per-rank timeline",
+    )
     args = parser.parse_args(argv)
     if not (0 < args.scale <= 1.0):
         parser.error("--scale must be in (0, 1]")
+
+    if args.what == "trace":
+        from repro.eval.tracecmd import run_trace_command
+
+        print(
+            run_trace_command(
+                args.app, p=args.p, n=args.n, out=args.json,
+                trace_level=args.level,
+            )
+        )
+        return 0
 
     outdir = None
     if args.out is not None:

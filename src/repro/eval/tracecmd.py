@@ -1,0 +1,105 @@
+"""The ``trace`` subcommand: run one application with full tracing.
+
+Runs a single simulated application on a machine constructed with
+``trace_level=2`` (span tracer + metrics + per-rank timeline), prints
+the cost analysis — overall shares, exclusive per-skeleton breakdown,
+flamegraph rollup, metrics — and optionally writes a Chrome
+trace-event JSON loadable in Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.gauss import gauss_full, gauss_simple, random_system
+from repro.apps.shortest_paths import (
+    random_distance_matrix,
+    round_up_to_grid,
+    shpaths,
+)
+from repro.errors import SkilError
+from repro.eval.trace_report import (
+    breakdown,
+    format_breakdowns,
+    format_skeleton_breakdowns,
+    skeleton_breakdowns,
+)
+from repro.machine.costmodel import SKIL
+from repro.machine.machine import Machine
+from repro.obs import flame_rollup, write_chrome_trace
+from repro.skeletons import SkilContext
+
+__all__ = ["TRACE_APPS", "TraceRun", "run_traced", "trace_report_text",
+           "run_trace_command"]
+
+#: applications the trace subcommand can run
+TRACE_APPS = ("shpaths", "gauss", "gauss-full")
+
+
+@dataclass
+class TraceRun:
+    """One traced application run and everything needed to report on it."""
+
+    app: str
+    n: int
+    machine: Machine
+    seconds: float
+
+
+def run_traced(
+    app: str, p: int = 9, n: int = 48, trace_level: int = 2, seed: int = 0
+) -> TraceRun:
+    """Run *app* on a fresh traced machine; returns the run handle.
+
+    *n* is rounded up to whatever divisibility the application needs
+    (torus side for shpaths, p for gauss), mirroring the paper's rule.
+    """
+    if app not in TRACE_APPS:
+        raise SkilError(f"unknown trace app {app!r}; choose from {TRACE_APPS}")
+    machine = Machine(p, trace_level=trace_level)
+    ctx = SkilContext(machine, SKIL)
+    if app == "shpaths":
+        n_eff = round_up_to_grid(n, machine.mesh.rows)
+        dist = random_distance_matrix(n_eff, density=0.25, seed=seed)
+        _, report = shpaths(ctx, dist)
+    else:
+        n_eff = round_up_to_grid(n, p)
+        a_mat, rhs = random_system(n_eff, seed=seed)
+        driver = gauss_full if app == "gauss-full" else gauss_simple
+        _, report = driver(ctx, a_mat, rhs)
+    return TraceRun(app=app, n=n_eff, machine=machine, seconds=report.seconds)
+
+
+def trace_report_text(run: TraceRun) -> str:
+    """The full plain-text analysis of one traced run."""
+    m = run.machine
+    label = f"{run.app} p={m.p} n={run.n}"
+    parts = [
+        format_breakdowns([breakdown(label, run.seconds, m.stats)]),
+        "",
+        "per-skeleton breakdown (exclusive):",
+        format_skeleton_breakdowns(skeleton_breakdowns(m.tracer)),
+        "",
+        "flamegraph rollup:",
+        flame_rollup(m.tracer),
+    ]
+    if m.metrics is not None:
+        parts += ["", "metrics:", m.metrics.format()]
+    return "\n".join(parts)
+
+
+def run_trace_command(
+    app: str,
+    p: int = 9,
+    n: int = 48,
+    out: str | None = None,
+    trace_level: int = 2,
+    seed: int = 0,
+) -> str:
+    """Drive one traced run; returns the report text, writes *out* JSON."""
+    run = run_traced(app, p=p, n=n, trace_level=trace_level, seed=seed)
+    text = trace_report_text(run)
+    if out is not None:
+        write_chrome_trace(out, run.machine)
+        text += f"\n\nChrome trace written to {out} (open in Perfetto)"
+    return text

@@ -111,6 +111,10 @@ def compile_skil(source: str) -> SkilModule:
     """Compile Skil source text into an executable :class:`SkilModule`."""
     import sys
 
+    from repro.obs import global_metrics
+
+    global_metrics().inc("lang.compile_calls")
+
     # recursive-descent passes walk expression chains one frame per
     # operator; allow realistically long straight-line expressions
     limit = sys.getrecursionlimit()

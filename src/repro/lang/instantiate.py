@@ -41,6 +41,7 @@ from repro.lang import ast as A
 from repro.lang.builtins import BUILTIN_FUNCTIONS, BUILTIN_VALUES
 from repro.lang.typecheck import CheckedProgram
 from repro.lang.types import TFun, TVar, Type, free_vars
+from repro.obs import global_metrics
 
 __all__ = [
     "KernelRef",
@@ -374,6 +375,7 @@ class _Instantiator:
                     inst_name = name  # keep the original name
                     clone = copy.deepcopy(f)
                     self._memo[key] = inst_name
+                    global_metrics().inc("lang.instantiations")
                     self.out.instances[inst_name] = Instance(
                         inst_name, name, clone, arg_types
                     )
@@ -387,10 +389,12 @@ class _Instantiator:
         desc_key = tuple(fun_descs)
         key = (name, type_key, desc_key)
         if key in self._memo:
+            global_metrics().inc("lang.specialize_cache_hits")
             inst_name = self._memo[key]
         else:
             inst_name = self._mangle(name)
             self._memo[key] = inst_name
+            global_metrics().inc("lang.instantiations")
             # self-recursive calls inside the instance body see the
             # ORIGINAL (generic) parameter types; pre-register that key so
             # d&c-style recursion with unchanged functional arguments maps
@@ -496,9 +500,11 @@ class _Instantiator:
         type_key = tuple(t.show() for t in arg_types)
         key = ("kernel", name, type_key, desc.inner)
         if key in self._memo:
+            global_metrics().inc("lang.specialize_cache_hits")
             return self._memo[key]
         inst_name = self._mangle(name)
         self._memo[key] = inst_name
+        global_metrics().inc("lang.instantiations")
         clone = copy.deepcopy(f)
         clone.name = inst_name
         # parameters stay as declared: the lifted values are BOUND at the

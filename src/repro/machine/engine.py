@@ -109,10 +109,20 @@ class Engine:
         cost: CostModel,
         topo: VirtualTopology,
         stats: TraceStats | None = None,
+        timeline=None,
+        metrics=None,
+        t0: float = 0.0,
     ):
         self.cost = cost
         self.topo = topo
         self.stats = stats if stats is not None else TraceStats()
+        #: optional observability sinks (see repro.obs); *t0* offsets the
+        #: engine's relative clock onto the machine timeline, since the
+        #: engine always starts at time zero while the embedding machine
+        #: may already have advanced
+        self.timeline = timeline
+        self.metrics = metrics
+        self.t0 = t0
         self._procs: dict[int, _Proc] = {}
         self._ready: list[tuple[float, int, int, Any]] = []  # (time, seq, rank, value)
         self._seq = itertools.count()
@@ -164,9 +174,24 @@ class Engine:
         return max((p.clock for p in self._procs.values()), default=0.0)
 
     # ------------------------------------------------------------------ dispatch
+    def _mark(self, rank: int, kind: str, start: float, end: float, tag: str = "") -> None:
+        if self.timeline is not None:
+            self.timeline.add(rank, kind, self.t0 + start, self.t0 + end, tag)
+
+    def _observe_message(self, nbytes: int, hops: int, tag: str) -> None:
+        if self.metrics is not None:
+            self.metrics.observe("net.message_bytes", nbytes)
+            self.metrics.observe(
+                "net.message_hops",
+                hops,
+                buckets=tuple(float(h) for h in range(1, 17)),
+            )
+            self.metrics.inc(f"net.messages.{tag or 'untagged'}")
+
     def _handle(self, proc: _Proc, req: Any) -> None:
         if isinstance(req, Compute):
             self.stats.compute_seconds += req.seconds
+            self._mark(proc.rank, "compute", proc.clock, proc.clock + req.seconds)
             self._push(proc.clock + req.seconds, proc.rank, None)
         elif isinstance(req, ISend):
             self._isend(proc, req)
@@ -188,6 +213,8 @@ class Engine:
         key = (req.dst, proc.rank, req.tag)
         self.stats.record_message(arrival, proc.rank, req.dst, req.nbytes, hops, "isend")
         self.stats.comm_seconds += wire + self.cost.t_setup
+        self._observe_message(req.nbytes, hops, req.tag or "isend")
+        self._mark(proc.rank, "send", proc.clock, depart, req.tag)
         waiters = self._recv_waiters[key]
         anykey = (req.dst, req.tag)
         if waiters:
@@ -195,11 +222,13 @@ class Engine:
             post_time = self._pending_recvs[key].popleft()
             resume = max(post_time, arrival)
             self.stats.idle_seconds += max(0.0, arrival - post_time)
+            self._mark(dst_rank, "idle", post_time, resume, req.tag)
             self._push(resume, dst_rank, req.payload)
         elif self._any_waiters[anykey]:
             dst_rank, post_time = self._any_waiters[anykey].popleft()
             resume = max(post_time, arrival)
             self.stats.idle_seconds += max(0.0, arrival - post_time)
+            self._mark(dst_rank, "idle", post_time, resume, req.tag)
             self._push(resume, dst_rank, req.payload)
         else:
             self._mail[key].append(_AsyncMsg(arrival, req.payload))
@@ -219,6 +248,9 @@ class Engine:
             self.stats.record_message(
                 finish, proc.rank, req.dst, req.nbytes, hops, "send"
             )
+            self._observe_message(req.nbytes, hops, req.tag or "send")
+            self._mark(proc.rank, "send", proc.clock, finish, req.tag)
+            self._mark(dst_rank, "recv", post_time, finish, req.tag)
             self._push(finish, proc.rank, None)
             self._push(finish, dst_rank, req.payload)
             return
@@ -229,6 +261,9 @@ class Engine:
             finish = start + wire
             self.stats.idle_seconds += max(0.0, finish - post_time - wire)
             self.stats.record_message(finish, proc.rank, req.dst, req.nbytes, hops, "send")
+            self._observe_message(req.nbytes, hops, req.tag or "send")
+            self._mark(proc.rank, "send", proc.clock, finish, req.tag)
+            self._mark(dst_rank, "recv", post_time, finish, req.tag)
             self._push(finish, proc.rank, None)
             self._push(finish, dst_rank, req.payload)
         else:
@@ -247,6 +282,7 @@ class Engine:
             msg = mail.popleft()
             resume = max(proc.clock, msg.arrival)
             self.stats.idle_seconds += max(0.0, msg.arrival - proc.clock)
+            self._mark(proc.rank, "idle", proc.clock, resume, req.tag)
             self._push(resume, proc.rank, msg.payload)
             return
         pend = self._pending_sends[key]
@@ -257,6 +293,9 @@ class Engine:
             finish = start + wire
             self.stats.idle_seconds += max(0.0, start - proc.clock)
             self.stats.record_message(finish, req.src, proc.rank, snd.nbytes, hops, "send")
+            self._observe_message(snd.nbytes, hops, req.tag or "send")
+            self._mark(req.src, "send", snd.ready, finish, req.tag)
+            self._mark(proc.rank, "recv", proc.clock, finish, req.tag)
             self._push(finish, req.src, None)
             self._push(finish, proc.rank, snd.payload)
             return
@@ -280,6 +319,7 @@ class Engine:
             msg = self._mail[best_key].popleft()
             resume = max(proc.clock, msg.arrival)
             self.stats.idle_seconds += max(0.0, msg.arrival - proc.clock)
+            self._mark(proc.rank, "idle", proc.clock, resume, req.tag)
             self._push(resume, proc.rank, msg.payload)
             return
         # pending synchronous senders: earliest ready, lowest rank
@@ -301,6 +341,9 @@ class Engine:
             self.stats.record_message(
                 finish, snd.src, proc.rank, snd.nbytes, hops, "send"
             )
+            self._observe_message(snd.nbytes, hops, req.tag or "send")
+            self._mark(snd.src, "send", snd.ready, finish, req.tag)
+            self._mark(proc.rank, "recv", proc.clock, finish, req.tag)
             self._push(finish, snd.src, None)
             self._push(finish, proc.rank, snd.payload)
             return
@@ -313,13 +356,15 @@ def run_spmd(
     topo: VirtualTopology,
     program: Callable[[int, int], Generator],
     stats: TraceStats | None = None,
+    timeline=None,
+    metrics=None,
 ) -> float:
     """Run the same generator *program(rank, p)* on every processor.
 
     Returns the makespan.  This is the engine-level analogue of launching
     one SPMD binary per node under Parix.
     """
-    eng = Engine(cost, topo, stats=stats)
+    eng = Engine(cost, topo, stats=stats, timeline=timeline, metrics=metrics)
     for r in range(topo.p):
         eng.spawn(r, program(r, topo.p))
     return eng.run()

@@ -73,6 +73,15 @@ class Machine:
         When ``False``, every virtual topology degenerates to the naive
         embedding (wrap-around edges cross the mesh) — models the old C
         code of Table 1.
+    trace_level:
+        Observability depth (zero-cost when 0, the default):
+
+        * ``0`` — only the aggregate :class:`TraceStats` counters;
+        * ``1`` — plus a :class:`~repro.obs.span.SpanTracer` (paired
+          skeleton spans) and a
+          :class:`~repro.obs.metrics.MetricsRegistry`;
+        * ``2`` — plus a per-rank :class:`~repro.obs.timeline.Timeline`
+          and individual message records.
     """
 
     def __init__(
@@ -83,16 +92,39 @@ class Machine:
         keep_message_records: bool = False,
         use_virtual_topologies: bool = True,
         link_contention: bool = False,
+        trace_level: int = 0,
     ):
         if p <= 0:
             raise MachineError(f"need a positive processor count, got {p}")
+        if trace_level not in (0, 1, 2):
+            raise MachineError(f"trace_level must be 0, 1 or 2, got {trace_level}")
         self.p = p
         self.cost = cost
         self.mesh = Mesh2D.for_processors(p)
-        self.stats = TraceStats(keep_records=keep_message_records)
+        self.trace_level = trace_level
+        self.stats = TraceStats(
+            keep_records=keep_message_records or trace_level >= 2
+        )
         self.network = Network(
             cost, p, stats=self.stats, link_contention=link_contention
         )
+        #: observability objects; ``None`` when the level does not pay
+        #: for them, so every hot-path check is one ``is None`` test.
+        #: They share ``self.stats`` and the network clocks — see
+        #: :meth:`reset` for the sharing contract.
+        self.tracer = self.metrics = self.timeline = None
+        if trace_level >= 1:
+            from repro.obs.metrics import MetricsRegistry
+            from repro.obs.span import SpanTracer
+
+            self.tracer = SpanTracer(self.stats, self.network)
+            self.metrics = MetricsRegistry()
+            self.network.metrics = self.metrics
+        if trace_level >= 2:
+            from repro.obs.timeline import Timeline
+
+            self.timeline = Timeline()
+            self.network.timeline = self.timeline
         self.strict_memory = strict_memory
         self.use_virtual_topologies = use_virtual_topologies
         self._memory = [_NodeMemory(cost.memory_bytes) for _ in range(p)]
@@ -105,10 +137,27 @@ class Machine:
         return self.network.time
 
     def reset(self) -> None:
-        """Zero the clocks and statistics; keeps memory accounting."""
+        """Zero the clocks and statistics; keeps memory accounting.
+
+        Sharing contract: ``self.stats`` is the **same object** for the
+        machine's whole lifetime — the network, any
+        :class:`~repro.machine.engine.Engine` built from this machine,
+        and the span tracer all capture it at construction.  Reset
+        therefore clears it *in place* (never replaces it), so every
+        captured reference keeps observing the live accumulator.
+        Spans, timelines and metrics are cleared the same way.
+        """
         self.network.reset()
-        self.stats = TraceStats(keep_records=self.stats.keep_records)
-        self.network.stats = self.stats
+        self.stats.clear()
+        assert self.network.stats is self.stats, (
+            "machine/network stats were rewired behind reset()'s back"
+        )
+        if self.tracer is not None:
+            self.tracer.clear()
+        if self.metrics is not None:
+            self.metrics.clear()
+        if self.timeline is not None:
+            self.timeline.clear()
 
     # ------------------------------------------------------------------ topo
     def topology(self, distr: str = DISTR_DEFAULT) -> VirtualTopology:

@@ -65,6 +65,20 @@ class Network:
         #: dimension-ordered routes share a directed hardware link are
         #: slowed by the link's total load (approximate serialization)
         self.link_contention = link_contention
+        #: optional observability sinks (attached by
+        #: :class:`repro.machine.machine.Machine` when tracing is on);
+        #: every hot-path use is guarded by one ``is None`` test so the
+        #: clock arithmetic is bit-identical with tracing off
+        self.metrics = None  # repro.obs.metrics.MetricsRegistry | None
+        self.timeline = None  # repro.obs.timeline.Timeline | None
+
+    def _observe_message(self, nbytes: int, hops: int, tag: str) -> None:
+        m = self.metrics
+        m.observe("net.message_bytes", nbytes)
+        m.observe(
+            "net.message_hops", hops, buckets=tuple(float(h) for h in range(1, 17))
+        )
+        m.inc(f"net.messages.{tag or 'untagged'}")
 
     # ------------------------------------------------------------------ helpers
     @property
@@ -88,6 +102,10 @@ class Network:
         """
         sec = np.asarray(seconds, dtype=np.float64)
         if sec.ndim == 0:
+            if self.timeline is not None and float(sec) > 0.0:
+                for r in range(self.p):
+                    t0 = float(self.clocks[r])
+                    self.timeline.add(r, "compute", t0, t0 + float(sec))
             self.clocks += float(sec)
             self.stats.compute_seconds += float(sec) * self.p
         else:
@@ -96,12 +114,20 @@ class Network:
                     f"per-processor compute vector must have shape ({self.p},), "
                     f"got {sec.shape}"
                 )
+            if self.timeline is not None:
+                for r in range(self.p):
+                    if sec[r] > 0.0:
+                        t0 = float(self.clocks[r])
+                        self.timeline.add(r, "compute", t0, t0 + float(sec[r]))
             self.clocks += sec
             self.stats.compute_seconds += float(sec.sum())
 
     def compute_at(self, rank: int, seconds: float) -> None:
         """Advance one processor's clock by local work."""
         self._check_rank(rank)
+        if self.timeline is not None and seconds > 0.0:
+            t0 = float(self.clocks[rank])
+            self.timeline.add(rank, "compute", t0, t0 + seconds)
         self.clocks[rank] += seconds
         self.stats.compute_seconds += seconds
 
@@ -121,11 +147,16 @@ class Network:
         if src == dst:
             # a local copy, no wire involved
             t = nbytes * self.cost.t_mem
+            if self.timeline is not None and t > 0.0:
+                t0 = float(self.clocks[src])
+                self.timeline.add(src, "compute", t0, t0 + t, detail="local-copy")
             self.clocks[src] += t
             self.stats.comm_seconds += t
             return float(self.clocks[src])
         hops = topo.edge_hops(src, dst)
         wire = self.cost.message_time(nbytes, hops)
+        old_src = float(self.clocks[src])
+        old_dst = float(self.clocks[dst])
         depart = self.clocks[src] + self.cost.t_setup
         arrival = depart + wire
         if sync:
@@ -140,6 +171,13 @@ class Network:
             self.clocks[dst] = max(float(self.clocks[dst]), arrival)
         self.stats.record_message(arrival, src, dst, nbytes, hops, tag)
         self.stats.comm_seconds += wire + self.cost.t_setup
+        if self.metrics is not None:
+            self._observe_message(nbytes, hops, tag)
+        if self.timeline is not None:
+            self.timeline.add(src, "send", old_src, float(self.clocks[src]), tag)
+            if arrival - wire > old_dst:
+                self.timeline.add(dst, "idle", old_dst, arrival - wire, tag)
+            self.timeline.add(dst, "recv", max(old_dst, arrival - wire), arrival, tag)
         return float(arrival)
 
     # ------------------------------------------------------------------ shift
@@ -189,6 +227,11 @@ class Network:
                 self.stats.record_message(finish, s, d, nb(s), hops, tag)
                 self.stats.comm_seconds += wire + self.cost.t_setup
                 self.stats.idle_seconds += max(0.0, start - self.cost.t_setup - old[d])
+                if self.metrics is not None:
+                    self._observe_message(nb(s), hops, tag)
+                if self.timeline is not None:
+                    self.timeline.add(s, "send", float(old[s]), finish, tag)
+                    self.timeline.add(d, "recv", float(old[d]), finish, tag)
         else:
             depart = {s: old[s] + self.cost.t_setup for s, _ in pairs}
             new = self.clocks.copy()
@@ -205,6 +248,15 @@ class Network:
                 new[d] = max(new[d], arrival)
                 self.stats.record_message(arrival, s, d, nb(s), hops, tag)
                 self.stats.comm_seconds += wire + self.cost.t_setup
+                if self.metrics is not None:
+                    self._observe_message(nb(s), hops, tag)
+                if self.timeline is not None:
+                    self.timeline.add(s, "send", float(old[s]), depart[s], tag)
+                    if arrival - wire > old[d]:
+                        self.timeline.add(d, "idle", float(old[d]), arrival - wire, tag)
+                    self.timeline.add(
+                        d, "recv", max(float(old[d]), arrival - wire), arrival, tag
+                    )
             self.clocks = new
 
     def _contention_factors(self, pairs, nb, topo: VirtualTopology) -> dict:

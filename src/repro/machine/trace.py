@@ -49,7 +49,11 @@ class TraceStats:
             self.records.append(MessageRecord(time, src, dst, nbytes, hops, tag))
 
     def merge(self, other: "TraceStats") -> None:
-        """Fold another stats object into this one (multi-phase runs)."""
+        """Fold another stats object into this one (multi-phase runs).
+
+        Records the other side already paid to keep are never dropped,
+        even when this side was created with ``keep_records=False``.
+        """
         self.messages += other.messages
         self.bytes_sent += other.bytes_sent
         self.hops_crossed += other.hops_crossed
@@ -57,8 +61,25 @@ class TraceStats:
         self.comm_seconds += other.comm_seconds
         self.idle_seconds += other.idle_seconds
         self.skeleton_calls += other.skeleton_calls
-        if self.keep_records:
-            self.records.extend(other.records)
+        self.records.extend(other.records)
+
+    def clear(self) -> None:
+        """Zero all counters **in place**.
+
+        :meth:`repro.machine.machine.Machine.reset` clears rather than
+        replaces its stats so that every component that captured the
+        object at construction time (the network, a long-lived
+        :class:`~repro.machine.engine.Engine`, a span tracer) keeps
+        observing the same accumulator.
+        """
+        self.messages = 0
+        self.bytes_sent = 0
+        self.hops_crossed = 0
+        self.compute_seconds = 0.0
+        self.comm_seconds = 0.0
+        self.idle_seconds = 0.0
+        self.skeleton_calls = 0
+        self.records.clear()
 
     def summary(self) -> dict[str, float]:
         return {

@@ -1,0 +1,52 @@
+"""Observability for the simulated Skil machine.
+
+The paper's whole evaluation is an argument about *where time goes* —
+compute vs. communication vs. idle as partitions shrink.  This package
+makes that attribution first-class instead of a single global counter
+set:
+
+* :mod:`repro.obs.span` — paired ``begin``/``end`` **spans** around
+  skeleton invocations (nested spans for composite skeletons), each
+  recording the compute/comm/idle seconds, messages, bytes and
+  participating ranks that accrued while it was open;
+* :mod:`repro.obs.timeline` — a per-rank **timeline** of
+  compute/send/recv/idle intervals, filled in by both the analytic
+  clock layer (:mod:`repro.machine.network`) and the discrete-event
+  engine (:mod:`repro.machine.engine`);
+* :mod:`repro.obs.metrics` — a **metrics registry** of counters,
+  gauges and histograms (message sizes, hop counts, instantiation
+  cache behaviour);
+* :mod:`repro.obs.export` — **exporters**: Chrome trace-event JSON
+  (open in Perfetto or ``chrome://tracing``; one track per rank plus a
+  skeleton-span track) and a flamegraph-style plain-text rollup.
+
+Everything is opt-in through ``Machine(trace_level=...)`` and costs a
+single ``is None`` check per operation when off, so the simulated
+makespans are bit-identical with tracing disabled.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, global_metrics
+from repro.obs.span import Span, SpanTracer
+from repro.obs.timeline import Interval, Timeline
+from repro.obs.export import (
+    chrome_trace_events,
+    flame_rollup,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_metrics",
+    "Span",
+    "SpanTracer",
+    "Interval",
+    "Timeline",
+    "chrome_trace_events",
+    "flame_rollup",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,210 @@
+"""Exporters: Chrome trace-event JSON and a flamegraph-style rollup.
+
+The JSON follows the Trace Event Format (the ``traceEvents`` array of
+complete ``"ph": "X"`` events plus ``"M"`` metadata records) and loads
+directly into Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  Simulated seconds are exported as microseconds,
+the unit the format expects.
+
+Track layout: one process ("skil machine"), thread 0 carries the
+skeleton spans (nested by stack discipline), threads ``1..p`` carry the
+per-rank compute/send/recv/idle intervals.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.span import Span, SpanTracer
+from repro.obs.timeline import Timeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.machine import Machine
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "flame_rollup",
+]
+
+_PID = 1
+_SPAN_TID = 0
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def chrome_trace_events(
+    tracer: SpanTracer | None = None,
+    timeline: Timeline | None = None,
+    label: str = "skil machine",
+) -> list[dict[str, Any]]:
+    """Build the ``traceEvents`` list from a tracer and/or a timeline."""
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": label},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _PID,
+            "tid": _SPAN_TID,
+            "args": {"name": "skeleton spans"},
+        },
+    ]
+    if tracer is not None:
+        for s in tracer.spans:
+            if not s.closed:
+                continue
+            events.append(
+                {
+                    "ph": "X",
+                    "name": s.name,
+                    "cat": s.category,
+                    "pid": _PID,
+                    "tid": _SPAN_TID,
+                    "ts": _us(s.begin_time),
+                    "dur": _us(s.duration),
+                    "args": {
+                        "compute_s": s.compute_seconds,
+                        "comm_s": s.comm_seconds,
+                        "idle_s": s.idle_seconds,
+                        "messages": s.messages,
+                        "bytes": s.bytes_sent,
+                        "ranks": list(s.ranks),
+                    },
+                }
+            )
+    if timeline is not None:
+        for r in timeline.ranks():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": _PID,
+                    "tid": r + 1,
+                    "args": {"name": f"rank {r}"},
+                }
+            )
+        for iv in timeline.intervals:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": iv.detail or iv.kind,
+                    "cat": iv.kind,
+                    "pid": _PID,
+                    "tid": iv.rank + 1,
+                    "ts": _us(iv.start),
+                    "dur": _us(iv.duration),
+                    "args": {},
+                }
+            )
+    return events
+
+
+def write_chrome_trace(path, machine: "Machine") -> dict[str, Any]:
+    """Write a machine's trace to *path*; returns the JSON object."""
+    obj = {
+        "traceEvents": chrome_trace_events(machine.tracer, machine.timeline),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "p": machine.p,
+            "makespan_s": machine.time,
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(obj, fh)
+    return obj
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Check *obj* against the trace-event schema; returns problems.
+
+    An empty list means the trace is structurally valid: a
+    ``traceEvents`` array whose entries carry ``ph``/``name``/``pid``/
+    ``tid``, with numeric non-negative ``ts``/``dur`` on complete
+    events.  Used by the tests and the CI smoke job.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict) or not isinstance(obj.get("traceEvents"), list):
+        return ["top level must be an object with a 'traceEvents' array"]
+    for i, ev in enumerate(obj["traceEvents"]):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                v = ev.get(key)
+                if not isinstance(v, (int, float)):
+                    problems.append(f"event {i}: {key!r} must be a number")
+                elif v < 0:
+                    problems.append(f"event {i}: {key!r} is negative")
+        elif ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"event {i}: metadata without args")
+        elif ph is not None:
+            problems.append(f"event {i}: unsupported phase {ph!r}")
+    return problems
+
+
+def flame_rollup(tracer: SpanTracer, min_share: float = 0.0) -> str:
+    """Flamegraph-style plain-text rollup of the span tree.
+
+    Spans are aggregated by their root-to-leaf name path; every line
+    shows inclusive simulated busy seconds (compute+comm+idle summed
+    over the participating processors), call count and the compute /
+    comm / idle split.  Children are indented under their parents and
+    sorted by busy time.
+    """
+    agg: dict[tuple[str, ...], dict[str, float]] = {}
+    for s in tracer.closed_spans():
+        key = tracer.path(s)
+        a = agg.setdefault(
+            key,
+            {"calls": 0, "busy": 0.0, "compute": 0.0, "comm": 0.0, "idle": 0.0},
+        )
+        a["calls"] += 1
+        a["busy"] += s.busy_total
+        a["compute"] += s.compute_seconds
+        a["comm"] += s.comm_seconds
+        a["idle"] += s.idle_seconds
+
+    total = sum(a["busy"] for p, a in agg.items() if len(p) == 1) or 1.0
+    lines = [
+        f"{'span':<44}{'busy [s]':>10}{'share':>7}{'calls':>7}"
+        f"{'compute':>9}{'comm':>7}{'idle':>7}"
+    ]
+
+    def emit(prefix: tuple[str, ...]) -> None:
+        children = sorted(
+            (p for p in agg if len(p) == len(prefix) + 1 and p[: len(prefix)] == prefix),
+            key=lambda p: -agg[p]["busy"],
+        )
+        for p in children:
+            a = agg[p]
+            share = a["busy"] / total
+            if share < min_share:
+                continue
+            busy = a["busy"] or 1.0
+            indent = "  " * (len(p) - 1)
+            lines.append(
+                f"{indent + p[-1]:<44}{a['busy']:>10.4f}{share:>7.1%}"
+                f"{int(a['calls']):>7}"
+                f"{a['compute'] / busy:>8.0%}{a['comm'] / busy:>7.0%}"
+                f"{a['idle'] / busy:>7.0%}"
+            )
+            emit(p)
+
+    emit(())
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""A small metrics registry: counters, gauges and histograms.
+
+Modelled on the Prometheus client conventions but in-process and
+allocation-light: instruments are created on first use and held by name
+in a :class:`MetricsRegistry`.  The machine owns a registry when
+``trace_level >= 1``; layers without a machine at hand (the compiler
+front end) report into the process-wide :func:`global_metrics` registry.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_metrics",
+    "POW2_BUCKETS",
+]
+
+#: power-of-two byte buckets, 1 B .. 16 MB — message sizes
+POW2_BUCKETS = tuple(float(1 << k) for k in range(25))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (e.g. bytes currently allocated)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+@dataclass
+class Histogram:
+    """Bucketed distribution with sum/count/min/max.
+
+    *buckets* are inclusive upper bounds; values above the last bound
+    land in the implicit overflow bucket.
+    """
+
+    name: str
+    buckets: tuple[float, ...] = POW2_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+    min: float | None = None
+    max: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect.bisect_left(self.buckets, v)] += 1
+        self.total += v
+        self.count += 1
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def nonzero_buckets(self) -> list[tuple[str, int]]:
+        """(upper-bound label, count) for buckets that saw any value."""
+        out = []
+        for i, c in enumerate(self.counts):
+            if not c:
+                continue
+            label = f"<={self.buckets[i]:g}" if i < len(self.buckets) else (
+                f">{self.buckets[-1]:g}"
+            )
+            out.append((label, c))
+        return out
+
+
+class MetricsRegistry:
+    """Named instruments, created on demand."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------ accessors
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = POW2_BUCKETS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, buckets=buckets)
+        return h
+
+    # ------------------------------------------------------------ shortcuts
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(
+        self, name: str, value: float, buckets: tuple[float, ...] = POW2_BUCKETS
+    ) -> None:
+        self.histogram(name, buckets=buckets).observe(value)
+
+    # ------------------------------------------------------------ output
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-dict dump (stable key order) for JSON export and tests."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._counters):
+            out["counters"][name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            out["gauges"][name] = self._gauges[name].value
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            out["histograms"][name] = {
+                "count": h.count,
+                "sum": h.total,
+                "mean": h.mean,
+                "min": h.min,
+                "max": h.max,
+                "buckets": dict(h.nonzero_buckets()),
+            }
+        return out
+
+    def format(self) -> str:
+        """Human-readable dump, one instrument per line."""
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            lines.append(f"{name:<40}{self._counters[name].value:>14g}")
+        for name in sorted(self._gauges):
+            lines.append(f"{name:<40}{self._gauges[name].value:>14g}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            lines.append(
+                f"{name:<40}{h.count:>8} obs  mean={h.mean:g} "
+                f"min={h.min if h.min is not None else '-'} "
+                f"max={h.max if h.max is not None else '-'}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    """Process-wide registry for layers with no machine in scope
+    (the compiler front end); tests may :meth:`~MetricsRegistry.clear` it."""
+    return _GLOBAL

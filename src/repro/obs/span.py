@@ -1,0 +1,176 @@
+"""Paired begin/end spans over the simulated clocks.
+
+A span brackets one skeleton invocation (or one phase of a composite
+skeleton, e.g. ``array_gen_mult``'s skew/multiply/rotate phases) and
+attributes to it everything that accrued while it was open: simulated
+compute/comm/idle seconds, message and byte counts, and the set of
+ranks whose clocks moved.  Attribution works by snapshotting the shared
+:class:`~repro.machine.trace.TraceStats` counters and the per-processor
+clock vector at ``begin`` and diffing at ``end`` — no per-message
+bookkeeping, so the tracer itself is cheap even on long runs.
+
+Spans nest by stack discipline; a span's numbers are *inclusive* of its
+children (the exporters compute exclusive values where needed).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import SkilError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.network import Network
+    from repro.machine.trace import TraceStats
+
+__all__ = ["Span", "SpanTracer", "SpanError"]
+
+
+class SpanError(SkilError):
+    """begin/end pairing was violated (end without begin, wrong order)."""
+
+
+@dataclass
+class Span:
+    """One closed (or still-open) traced interval."""
+
+    name: str
+    category: str  # "skeleton" | "phase"
+    index: int  # position in SpanTracer.spans
+    parent: int | None  # index of the enclosing span, if any
+    depth: int
+    begin_time: float
+    end_time: float | None = None
+    compute_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    messages: int = 0
+    bytes_sent: int = 0
+    ranks: tuple[int, ...] = ()
+
+    @property
+    def closed(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def duration(self) -> float:
+        """Simulated makespan advance while the span was open."""
+        return (self.end_time or self.begin_time) - self.begin_time
+
+    @property
+    def busy_total(self) -> float:
+        return self.compute_seconds + self.comm_seconds + self.idle_seconds
+
+
+@dataclass
+class _Snapshot:
+    compute: float
+    comm: float
+    idle: float
+    messages: int
+    bytes_sent: int
+    clocks: "object"  # np.ndarray copy
+
+
+class SpanTracer:
+    """Records a tree of spans against a stats object and a clock vector."""
+
+    def __init__(self, stats: "TraceStats", network: "Network"):
+        self.stats = stats
+        self.network = network
+        self.spans: list[Span] = []
+        self._stack: list[tuple[Span, _Snapshot]] = []
+
+    # ------------------------------------------------------------------ core
+    def begin(self, name: str, category: str = "skeleton") -> Span:
+        parent = self._stack[-1][0].index if self._stack else None
+        span = Span(
+            name=name,
+            category=category,
+            index=len(self.spans),
+            parent=parent,
+            depth=len(self._stack),
+            begin_time=self.network.time,
+        )
+        snap = _Snapshot(
+            compute=self.stats.compute_seconds,
+            comm=self.stats.comm_seconds,
+            idle=float(self.stats.idle_seconds),
+            messages=self.stats.messages,
+            bytes_sent=self.stats.bytes_sent,
+            clocks=self.network.clocks.copy(),
+        )
+        self.spans.append(span)
+        self._stack.append((span, snap))
+        return span
+
+    def end(self, span: Span | None = None) -> Span:
+        """Close the innermost span (or *span*, which must be innermost)."""
+        if not self._stack:
+            raise SpanError("end() without a matching begin()")
+        top, snap = self._stack[-1]
+        if span is not None and span is not top:
+            raise SpanError(
+                f"out-of-order end(): innermost open span is {top.name!r}, "
+                f"got {span.name!r}"
+            )
+        self._stack.pop()
+        top.end_time = self.network.time
+        top.compute_seconds = self.stats.compute_seconds - snap.compute
+        top.comm_seconds = self.stats.comm_seconds - snap.comm
+        top.idle_seconds = float(self.stats.idle_seconds) - snap.idle
+        top.messages = self.stats.messages - snap.messages
+        top.bytes_sent = self.stats.bytes_sent - snap.bytes_sent
+        moved = self.network.clocks != snap.clocks
+        top.ranks = tuple(int(r) for r in moved.nonzero()[0])
+        return top
+
+    def end_through(self, span: Span) -> Span:
+        """Close every open span down to and including *span*.
+
+        Used by error paths: a failing skeleton body may leave nested
+        phase spans open; this closes them innermost-first so no begin
+        is left dangling.
+        """
+        if all(s is not span for s, _ in self._stack):
+            raise SpanError(f"span {span.name!r} is not open")
+        while self._stack[-1][0] is not span:
+            self.end()
+        return self.end(span)
+
+    @contextmanager
+    def span(self, name: str, category: str = "phase") -> Iterator[Span]:
+        s = self.begin(name, category=category)
+        try:
+            yield s
+        finally:
+            self.end_through(s)
+
+    # ------------------------------------------------------------------ query
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def closed_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.closed]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent == span.index]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent is None]
+
+    def path(self, span: Span) -> tuple[str, ...]:
+        """Names from the root down to *span* (flamegraph path)."""
+        names: list[str] = []
+        cur: Span | None = span
+        while cur is not None:
+            names.append(cur.name)
+            cur = self.spans[cur.parent] if cur.parent is not None else None
+        return tuple(reversed(names))
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._stack.clear()

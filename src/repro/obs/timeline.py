@@ -1,0 +1,63 @@
+"""Per-rank activity timelines.
+
+Both time layers fill the same structure: the analytic clock arithmetic
+(:mod:`repro.machine.network`) records coarse intervals around each
+collective operation, the discrete-event engine
+(:mod:`repro.machine.engine`) records them at message granularity.  The
+Chrome trace exporter turns each rank's intervals into one track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Interval", "Timeline", "COMPUTE", "SEND", "RECV", "IDLE"]
+
+COMPUTE = "compute"
+SEND = "send"
+RECV = "recv"
+IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One contiguous activity of one rank, in simulated seconds."""
+
+    rank: int
+    kind: str  # compute | send | recv | idle
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Append-only list of per-rank intervals."""
+
+    def __init__(self) -> None:
+        self.intervals: list[Interval] = []
+
+    def add(
+        self, rank: int, kind: str, start: float, end: float, detail: str = ""
+    ) -> None:
+        """Record one interval; zero/negative-length intervals are dropped."""
+        if end > start:
+            self.intervals.append(Interval(rank, kind, start, end, detail))
+
+    def for_rank(self, rank: int) -> list[Interval]:
+        return [iv for iv in self.intervals if iv.rank == rank]
+
+    def ranks(self) -> list[int]:
+        return sorted({iv.rank for iv in self.intervals})
+
+    def busy_seconds(self, rank: int) -> float:
+        return sum(iv.duration for iv in self.for_rank(rank) if iv.kind != IDLE)
+
+    def clear(self) -> None:
+        self.intervals.clear()
+
+    def __len__(self) -> int:
+        return len(self.intervals)

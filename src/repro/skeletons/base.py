@@ -20,17 +20,43 @@ User argument functions that need processor context (the paper's
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 import numpy as np
+
+import functools
 
 from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
 from repro.machine.costmodel import SKIL, LanguageProfile
 from repro.machine.machine import DISTR_DEFAULT, Machine
 
-__all__ = ["SkilContext", "MapEnv", "ops_of", "current_context"]
+__all__ = ["SkilContext", "MapEnv", "ops_of", "current_context", "skeleton_span"]
+
+
+def skeleton_span(name: str) -> Callable:
+    """Decorator for skeleton entry points ``f(ctx, ...)``.
+
+    Wraps the whole body in a paired ``begin_skeleton``/``end_skeleton``
+    — the span closes even when the body raises (argument validation
+    errors, singular matrices, deadlocks), so no begin is ever left
+    without its end.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(ctx, *args, **kwargs):
+            span = ctx.begin_skeleton(name)
+            try:
+                return fn(ctx, *args, **kwargs)
+            finally:
+                ctx.end_skeleton(span)
+
+        return wrapper
+
+    return deco
 
 #: the context whose skeleton is currently executing; lets user argument
 #: functions reach processor context (procId, partition bounds) the way
@@ -110,13 +136,56 @@ class SkilContext:
     def elem_time(self, ops: float = 1.0) -> float:
         return self.profile.elem_time(self.machine.cost, ops)
 
-    def begin_skeleton(self, name: str) -> None:
-        """Charge the fixed per-invocation overhead on every processor."""
+    def begin_skeleton(self, name: str):
+        """Open one skeleton invocation: charge the fixed per-invocation
+        overhead on every processor and (when tracing) open a span.
+
+        Returns the span (or ``None`` with tracing off); every call must
+        be paired with :meth:`end_skeleton` — use the :meth:`skeleton`
+        context manager, which guarantees the pairing on error paths.
+        """
         global _CURRENT
         _CURRENT = self
         self.machine.stats.skeleton_calls += 1
+        tracer = self.machine.tracer
+        span = tracer.begin(name, category="skeleton") if tracer is not None else None
         if self.profile.skeleton_overhead:
             self.net.compute(self.profile.skeleton_overhead)
+        return span
+
+    def end_skeleton(self, span=None) -> None:
+        """Close the span opened by :meth:`begin_skeleton` (plus any
+        phase spans an error path left open beneath it)."""
+        tracer = self.machine.tracer
+        if tracer is None:
+            return
+        if span is not None:
+            tracer.end_through(span)
+        elif tracer.open_depth:
+            tracer.end()
+
+    @contextmanager
+    def skeleton(self, name: str) -> Iterator[None]:
+        """``with ctx.skeleton("array_map"): ...`` — begin/end pairing
+        that survives exceptions (no begin-without-end paths)."""
+        span = self.begin_skeleton(name)
+        try:
+            yield
+        finally:
+            self.end_skeleton(span)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """A nested sub-span inside a composite skeleton (e.g. the
+        rotate/multiply phases of ``array_gen_mult``).  No overhead is
+        charged and nothing is counted; with tracing off this is a no-op.
+        """
+        tracer = self.machine.tracer
+        if tracer is None:
+            yield
+            return
+        with tracer.span(name, category="phase"):
+            yield
 
     def sync(self) -> bool:
         """Whether communication should use synchronous sends."""

@@ -26,14 +26,14 @@ import numpy as np
 
 from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
-from repro.skeletons.base import ops_of
+from repro.skeletons.base import ops_of, skeleton_span
 
 __all__ = ["array_broadcast_part", "array_permute_rows", "array_rotate_rows"]
 
 
+@skeleton_span("array_broadcast_part")
 def array_broadcast_part(ctx, a: DistArray, ix) -> None:
     """Broadcast the partition owning element *ix* to all processors."""
-    ctx.begin_skeleton("array_broadcast_part")
     owner = a.owner(tuple(int(i) for i in ix))
     block = a.local(owner)
     for r in range(ctx.p):
@@ -56,11 +56,11 @@ def _row_segment_owner(arr: DistArray, row: int, col_lo: int) -> int:
     return arr.owner((row, col_lo))
 
 
+@skeleton_span("array_permute_rows")
 def array_permute_rows(
     ctx, from_arr: DistArray, perm_f: Callable[[int], int], to_arr: DistArray
 ) -> None:
     """Permute the rows of a 2-D array: ``to[perm_f(i), :] = from[i, :]``."""
-    ctx.begin_skeleton("array_permute_rows")
     if from_arr.dim != 2:
         raise SkeletonError("array_permute_rows applies only to 2-dimensional arrays")
     ctx.check_same_shape("array_permute_rows", from_arr, to_arr)

@@ -28,11 +28,12 @@ import numpy as np
 from repro.arrays.darray import DistArray, default_grid
 from repro.arrays.distribution import BlockDistribution
 from repro.errors import SkeletonError
-from repro.skeletons.base import MapEnv, ops_of
+from repro.skeletons.base import MapEnv, ops_of, skeleton_span
 
 __all__ = ["array_create", "array_destroy", "array_copy"]
 
 
+@skeleton_span("array_create")
 def array_create(
     ctx,
     dim: int,
@@ -52,7 +53,6 @@ def array_create(
     selects the numpy element type.
     """
     distr = distr if distr is not None else ctx.default_distr
-    ctx.begin_skeleton("array_create")
     grid = default_grid(ctx.machine, dim, distr)
     dist = BlockDistribution.from_pardata_args(dim, size, blocksize, lowerbd, grid)
     arr = DistArray(ctx.machine, dist, dtype, distr)
@@ -79,12 +79,13 @@ def array_create(
     return arr
 
 
+@skeleton_span("array_destroy")
 def array_destroy(ctx, a: DistArray) -> None:
     """Deallocate *a*; using it afterwards raises."""
-    ctx.begin_skeleton("array_destroy")
     a.destroy()
 
 
+@skeleton_span("array_copy")
 def array_copy(ctx, from_arr: DistArray, to_arr: DistArray) -> None:
     """Copy *from_arr* into the previously created *to_arr*.
 
@@ -92,7 +93,6 @@ def array_copy(ctx, from_arr: DistArray, to_arr: DistArray) -> None:
     calls (this is why the paper implemented it "instead of using a
     correspondingly parameterized array_map").
     """
-    ctx.begin_skeleton("array_copy")
     ctx.check_same_shape("array_copy", from_arr, to_arr)
     if from_arr is to_arr:
         raise SkeletonError("array_copy: source and target are the same array")

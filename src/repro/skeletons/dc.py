@@ -33,11 +33,12 @@ from typing import Any, Callable
 
 from repro.errors import SkeletonError
 from repro.machine.engine import Compute, Engine, ISend, Recv
-from repro.skeletons.base import ops_of
+from repro.skeletons.base import ops_of, skeleton_span
 
 __all__ = ["divide_and_conquer"]
 
 
+@skeleton_span("divide_and_conquer")
 def divide_and_conquer(
     ctx,
     is_trivial: Callable[[Any], bool],
@@ -53,7 +54,6 @@ def divide_and_conquer(
     Returns the solution (held by processor 0 on the real machine);
     simulated time is charged to the machine the context is bound to.
     """
-    ctx.begin_skeleton("divide_and_conquer")
     if nbytes_of is None:
         nbytes_of = lambda pb: 16 * max(1, size_of(pb))  # noqa: E731
 
@@ -160,6 +160,9 @@ def divide_and_conquer(
         ctx.machine.cost,
         ctx.machine.topology(ctx.default_distr),
         stats=ctx.machine.stats,
+        timeline=ctx.machine.timeline,
+        metrics=ctx.machine.metrics,
+        t0=ctx.machine.time,
     )
     for r in range(ctx.p):
         eng.spawn(r, program(r, ctx.p))

@@ -29,7 +29,7 @@ import numpy as np
 from repro.arrays.distribution import BlockDistribution, Bounds
 from repro.errors import SkeletonError
 from repro.machine.machine import Machine
-from repro.skeletons.base import ops_of
+from repro.skeletons.base import ops_of, skeleton_span
 
 __all__ = ["DynArray", "dyn_create", "dyn_map", "dyn_fold", "dyn_rotate",
            "dyn_gather"]
@@ -76,9 +76,9 @@ class DynArray:
             pos += m
 
 
+@skeleton_span("dyn_create")
 def dyn_create(ctx, n: int, init_f: Callable[[int], Any]) -> DynArray:
     """Create a distributed dynamic array, ``a[i] = init_f(i)``."""
-    ctx.begin_skeleton("dyn_create")
     arr = DynArray(ctx.machine, n)
     per_rank = np.zeros(ctx.p)
     t_elem = ctx.elem_time(ops_of(init_f))
@@ -92,9 +92,9 @@ def dyn_create(ctx, n: int, init_f: Callable[[int], Any]) -> DynArray:
     return arr
 
 
+@skeleton_span("dyn_map")
 def dyn_map(ctx, f: Callable[[Any, int], Any], src: DynArray, dst: DynArray) -> None:
     """Elementwise map — local, no flattening needed."""
-    ctx.begin_skeleton("dyn_map")
     if src.n != dst.n:
         raise SkeletonError("dyn_map: arrays must have the same length")
     per_rank = np.zeros(ctx.p)
@@ -113,9 +113,9 @@ def dyn_map(ctx, f: Callable[[Any, int], Any], src: DynArray, dst: DynArray) -> 
     ctx.net.compute(per_rank)
 
 
+@skeleton_span("dyn_fold")
 def dyn_fold(ctx, conv_f: Callable, fold_f: Callable, a: DynArray):
     """Fold with local conversion; the combine travels flattened scalars."""
-    ctx.begin_skeleton("dyn_fold")
     t_conv = ctx.elem_time(ops_of(conv_f))
     t_fold = ctx.elem_time(ops_of(fold_f))
     partials = []
@@ -135,6 +135,7 @@ def dyn_fold(ctx, conv_f: Callable, fold_f: Callable, a: DynArray):
     return reduce(fold_f, partials)
 
 
+@skeleton_span("dyn_rotate")
 def dyn_rotate(
     ctx,
     a: DynArray,
@@ -150,7 +151,6 @@ def dyn_rotate(
     wire bytes and per-byte flatten/unflatten compute time come from the
     flattened sizes — the pointer itself is never sent.
     """
-    ctx.begin_skeleton("dyn_rotate")
     if unflatten is None:
         unflatten = lambda x: x  # noqa: E731
     values = a.to_list()
@@ -182,11 +182,11 @@ def dyn_rotate(
     a.from_list([unflatten(v) for v in rotated])
 
 
+@skeleton_span("dyn_gather")
 def dyn_gather(
     ctx, a: DynArray, flatten: Callable[[Any], int], root: int = 0
 ) -> list:
     """Collect all (flattened) elements at *root*; returns the list."""
-    ctx.begin_skeleton("dyn_gather")
     topo = ctx.machine.topology(ctx.default_distr)
     t_mem = ctx.machine.cost.t_mem
     for r in range(ctx.p):

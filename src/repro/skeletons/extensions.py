@@ -17,11 +17,12 @@ import numpy as np
 
 from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
-from repro.skeletons.base import MapEnv, ops_of
+from repro.skeletons.base import MapEnv, ops_of, skeleton_span
 
 __all__ = ["array_map_overlap"]
 
 
+@skeleton_span("array_map_overlap")
 def array_map_overlap(
     ctx,
     stencil_f: Callable,
@@ -42,7 +43,6 @@ def array_map_overlap(
     index_grids, env)`` and must return the *owned* block; ``padded_block``
     is the partition extended by the (clamped) halo.
     """
-    ctx.begin_skeleton("array_map_overlap")
     ctx.check_same_shape("array_map_overlap", from_arr, to_arr)
     if from_arr is to_arr:
         raise SkeletonError(

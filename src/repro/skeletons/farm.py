@@ -24,13 +24,14 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import SkeletonError
 from repro.machine.engine import ANY_SOURCE, Compute, Engine, ISend, Recv
-from repro.skeletons.base import ops_of
+from repro.skeletons.base import ops_of, skeleton_span
 
 __all__ = ["farm"]
 
 _STOP = ("__farm_stop__",)
 
 
+@skeleton_span("farm")
 def farm(
     ctx,
     worker: Callable[[Any], Any],
@@ -42,7 +43,6 @@ def farm(
 
     Returns the results in task order (collected at the master).
     """
-    ctx.begin_skeleton("farm")
     tasks = list(tasks)
     if nbytes_of is None:
         nbytes_of = lambda t: 16 * max(1, _size(size_of, t))  # noqa: E731
@@ -97,6 +97,9 @@ def farm(
         ctx.machine.cost,
         ctx.machine.topology(ctx.default_distr),
         stats=ctx.machine.stats,
+        timeline=ctx.machine.timeline,
+        metrics=ctx.machine.metrics,
+        t0=ctx.machine.time,
     )
     eng.spawn(0, master(0, ctx.p))
     for r in range(1, ctx.p):

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
-from repro.skeletons.base import MapEnv, ops_of
+from repro.skeletons.base import MapEnv, ops_of, skeleton_span
 
 __all__ = ["array_fold", "array_scan"]
 
@@ -64,9 +64,9 @@ def _local_fold(fold_f, values: np.ndarray):
     return reduce(fold_f, flat.tolist())
 
 
+@skeleton_span("array_fold")
 def array_fold(ctx, conv_f: Callable, fold_f: Callable, a: DistArray):
     """Fold all elements of *a* into one value, known on all processors."""
-    ctx.begin_skeleton("array_fold")
     if not getattr(fold_f, "commutative_associative", False):
         warnings.warn(
             "array_fold: the folding function does not declare itself "
@@ -80,26 +80,29 @@ def array_fold(ctx, conv_f: Callable, fold_f: Callable, a: DistArray):
     t_fold = ctx.elem_time(ops_of(fold_f))
     per_rank = np.zeros(ctx.p)
     partials = []
-    for r in range(ctx.p):
-        ctx.current_rank = r
-        vals = _converted_partition(ctx, conv_f, a, r)
-        partials.append(_local_fold(fold_f, vals))
-        n = vals.size
-        per_rank[r] = n * t_conv + max(0, n - 1) * t_fold
-    ctx.current_rank = None
-    ctx.net.compute(per_rank)
+    with ctx.phase("fold:local"):
+        for r in range(ctx.p):
+            ctx.current_rank = r
+            vals = _converted_partition(ctx, conv_f, a, r)
+            partials.append(_local_fold(fold_f, vals))
+            n = vals.size
+            per_rank[r] = n * t_conv + max(0, n - 1) * t_fold
+        ctx.current_rank = None
+        ctx.net.compute(per_rank)
 
     # combine along the binomial tree and broadcast the result back
-    result = reduce(fold_f, partials)
-    probe = np.asarray(partials[0])
-    nbytes = probe.nbytes if probe.dtype != object else 64
-    topo = ctx.machine.topology(a.distr)
-    ctx.net.allreduce(
-        ctx.wire_bytes(nbytes), topo, combine_seconds=t_fold, sync=ctx.sync()
-    )
+    with ctx.phase("fold:tree"):
+        result = reduce(fold_f, partials)
+        probe = np.asarray(partials[0])
+        nbytes = probe.nbytes if probe.dtype != object else 64
+        topo = ctx.machine.topology(a.distr)
+        ctx.net.allreduce(
+            ctx.wire_bytes(nbytes), topo, combine_seconds=t_fold, sync=ctx.sync()
+        )
     return result
 
 
+@skeleton_span("array_scan")
 def array_scan(ctx, scan_f: Callable, a: DistArray, to_arr: DistArray) -> None:
     """Extension skeleton: inclusive prefix combination along dimension 0.
 
@@ -108,7 +111,6 @@ def array_scan(ctx, scan_f: Callable, a: DistArray, to_arr: DistArray) -> None:
     correction — the textbook distributed scan.  *scan_f* must be
     associative (commutativity is not required).
     """
-    ctx.begin_skeleton("array_scan")
     if a.dim != 1:
         raise SkeletonError("array_scan currently supports 1-D arrays")
     ctx.check_same_shape("array_scan", a, to_arr)

@@ -47,7 +47,7 @@ import numpy as np
 from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
 from repro.machine.topology import Torus2D
-from repro.skeletons.base import ops_of
+from repro.skeletons.base import ops_of, skeleton_span
 
 __all__ = ["array_gen_mult", "semiring_block_product"]
 
@@ -108,6 +108,7 @@ def _require_square_torus(ctx, arr: DistArray, name: str) -> Torus2D:
     return topo
 
 
+@skeleton_span("array_gen_mult")
 def array_gen_mult(
     ctx,
     a: DistArray,
@@ -117,7 +118,6 @@ def array_gen_mult(
     c: DistArray,
 ) -> None:
     """Compose *a* and *b* with the matrix-multiplication pattern into *c*."""
-    ctx.begin_skeleton("array_gen_mult")
     ctx.check_distinct("array_gen_mult", a, b, c)
     for arr in (a, b, c):
         if arr.dim != 2:
@@ -168,14 +168,15 @@ def array_gen_mult(
             blocks[d] = blk
 
     # -- 1. skew ---------------------------------------------------------
-    pa = skew_pairs("a", +1)
-    pb = skew_pairs("b", +1)
-    if pa:
-        ctx.net.shift(pa, nbytes_a, topo, sync=sync, tag="genmult-skew-a")
-        apply_block_perm(ablk, pa)
-    if pb:
-        ctx.net.shift(pb, nbytes_b, topo, sync=sync, tag="genmult-skew-b")
-        apply_block_perm(bblk, pb)
+    with ctx.phase("genmult:skew"):
+        pa = skew_pairs("a", +1)
+        pb = skew_pairs("b", +1)
+        if pa:
+            ctx.net.shift(pa, nbytes_a, topo, sync=sync, tag="genmult-skew-a")
+            apply_block_perm(ablk, pa)
+        if pb:
+            ctx.net.shift(pb, nbytes_b, topo, sync=sync, tag="genmult-skew-b")
+            apply_block_perm(bblk, pb)
 
     # -- 2. multiply / rotate rounds --------------------------------------
     m_loc, k_loc = ablk[0].shape
@@ -189,30 +190,37 @@ def array_gen_mult(
     west_pairs = [(r, topo.west(r)) for r in range(ctx.p) if topo.west(r) != r]
     north_pairs = [(r, topo.north(r)) for r in range(ctx.p) if topo.north(r) != r]
     for step in range(g):
-        for r in range(ctx.p):
-            ctx.current_rank = r
-            accum[r] = semiring_block_product(
-                gen_add, gen_mult, ablk[r], bblk[r], accum[r]
-            )
-        ctx.current_rank = None
-        ctx.net.compute(t_round)
+        with ctx.phase("genmult:multiply"):
+            for r in range(ctx.p):
+                ctx.current_rank = r
+                accum[r] = semiring_block_product(
+                    gen_add, gen_mult, ablk[r], bblk[r], accum[r]
+                )
+            ctx.current_rank = None
+            ctx.net.compute(t_round)
         if step < g - 1:
-            ctx.net.shift(west_pairs, nbytes_a, topo, sync=sync, tag="genmult-rot-a")
-            apply_block_perm(ablk, west_pairs)
-            ctx.net.shift(north_pairs, nbytes_b, topo, sync=sync, tag="genmult-rot-b")
-            apply_block_perm(bblk, north_pairs)
+            with ctx.phase("genmult:rotate"):
+                ctx.net.shift(
+                    west_pairs, nbytes_a, topo, sync=sync, tag="genmult-rot-a"
+                )
+                apply_block_perm(ablk, west_pairs)
+                ctx.net.shift(
+                    north_pairs, nbytes_b, topo, sync=sync, tag="genmult-rot-b"
+                )
+                apply_block_perm(bblk, north_pairs)
 
     # -- 3. unskew (restore a and b on the real machine) ------------------
     # after the initial skew and g-1 unit rotations the blocks sit one
     # position past their skew origin; realignment is one permutation
     # shift per matrix, same cost class as the skew
     if g > 1:
-        ctx.net.shift(
-            skew_pairs("a", -1), nbytes_a, topo, sync=sync, tag="genmult-unskew-a"
-        )
-        ctx.net.shift(
-            skew_pairs("b", -1), nbytes_b, topo, sync=sync, tag="genmult-unskew-b"
-        )
+        with ctx.phase("genmult:unskew"):
+            ctx.net.shift(
+                skew_pairs("a", -1), nbytes_a, topo, sync=sync, tag="genmult-unskew-a"
+            )
+            ctx.net.shift(
+                skew_pairs("b", -1), nbytes_b, topo, sync=sync, tag="genmult-unskew-b"
+            )
 
     for r in range(ctx.p):
         c.local(r)[...] = accum[r].astype(c.dtype, copy=False)

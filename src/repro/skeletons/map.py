@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
-from repro.skeletons.base import MapEnv, ops_of
+from repro.skeletons.base import MapEnv, ops_of, skeleton_span
 
 __all__ = ["array_map", "array_zip"]
 
@@ -46,9 +46,9 @@ def _apply_block(ctx, f, src_arr: DistArray, rank: int, blocks=None):
     return out
 
 
+@skeleton_span("array_map")
 def array_map(ctx, map_f: Callable, from_arr: DistArray, to_arr: DistArray) -> None:
     """Apply *map_f* to every element of *from_arr*, writing *to_arr*."""
-    ctx.begin_skeleton("array_map")
     ctx.check_same_shape("array_map", from_arr, to_arr)
     in_situ = from_arr is to_arr
 
@@ -76,6 +76,7 @@ def array_map(ctx, map_f: Callable, from_arr: DistArray, to_arr: DistArray) -> N
     del in_situ  # semantics identical either way; kept for readability
 
 
+@skeleton_span("array_zip")
 def array_zip(
     ctx,
     zip_f: Callable,
@@ -89,7 +90,6 @@ def array_zip(
     A vectorized kernel has signature ``kernel(block_a, block_b,
     index_grids, env)``.
     """
-    ctx.begin_skeleton("array_zip")
     ctx.check_same_shape("array_zip", a, b)
     ctx.check_same_shape("array_zip", a, to_arr)
 

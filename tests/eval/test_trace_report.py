@@ -3,7 +3,14 @@
 import pytest
 
 from repro.apps import random_distance_matrix, shpaths
-from repro.eval.trace_report import CostBreakdown, breakdown, format_breakdowns
+from repro.eval.trace_report import (
+    CostBreakdown,
+    SkeletonBreakdown,
+    breakdown,
+    format_breakdowns,
+    format_skeleton_breakdowns,
+    skeleton_breakdowns,
+)
 from repro.machine.costmodel import SKIL
 from repro.machine.machine import Machine
 from repro.machine.trace import TraceStats
@@ -51,3 +58,79 @@ class TestBreakdown:
         assert "skil" in text and "dpfl" in text
         assert "80%" in text  # skil compute share
         assert "2.00" in text  # MB sent
+
+    def test_format_empty_row_list_is_header_only(self):
+        text = format_breakdowns([])
+        assert text.splitlines() == [text]  # a single header line
+        assert "run" in text
+
+    def test_zero_busy_total_shares_are_zero(self):
+        b = CostBreakdown("idle-machine", 0.0, 0.0, 0.0, 0.0, 0, 0, 0)
+        assert b.compute_share == 0.0
+        assert b.comm_share == 0.0
+        assert b.idle_share == 0.0
+        # and formatting a zero row must not divide by zero
+        assert "idle-machine" in format_breakdowns([b])
+
+
+class TestSkeletonBreakdowns:
+    def test_zero_busy_shares(self):
+        r = SkeletonBreakdown("noop", 1, 0.0, 0.0, 0.0, 0, 0)
+        assert r.compute_share == r.comm_share == r.idle_share == 0.0
+        assert "noop" in format_skeleton_breakdowns([r])
+
+    def test_format_empty(self):
+        text = format_skeleton_breakdowns([])
+        assert text.splitlines() == [text]
+        assert "skeleton" in text
+
+    def test_exclusive_attribution_of_nested_skeletons(self):
+        """A skeleton invoked inside another must not be double-counted:
+        its cost is subtracted from the enclosing skeleton's row."""
+        m = Machine(4, trace_level=1)
+        tracer = m.tracer
+        outer = tracer.begin("outer", category="skeleton")
+        m.network.compute(1.0)  # 4 s exclusive to outer
+        with tracer.span("phase", category="phase"):
+            inner = tracer.begin("inner", category="skeleton")
+            m.network.compute(2.0)  # 8 s belong to inner, not outer
+            tracer.end(inner)
+        tracer.end(outer)
+        rows = {r.name: r for r in skeleton_breakdowns(tracer)}
+        assert rows["inner"].compute_seconds == pytest.approx(8.0)
+        assert rows["outer"].compute_seconds == pytest.approx(4.0)
+        total = sum(r.compute_seconds for r in rows.values())
+        assert total == pytest.approx(m.stats.compute_seconds)
+
+    def test_rows_sorted_by_busy_time(self):
+        m = Machine(2, trace_level=1)
+        a = m.tracer.begin("small")
+        m.network.compute(0.1)
+        m.tracer.end(a)
+        b = m.tracer.begin("big")
+        m.network.compute(5.0)
+        m.tracer.end(b)
+        rows = skeleton_breakdowns(m.tracer)
+        assert [r.name for r in rows] == ["big", "small"]
+
+    def test_gauss_full_per_skeleton_costs(self):
+        """Acceptance: the Gauss breakdown shows nonzero compute AND comm
+        for array_map, array_fold and array_broadcast_part."""
+        from repro.apps.gauss import gauss_full, random_system
+
+        ctx = SkilContext(Machine(4, trace_level=1), SKIL)
+        a_mat, rhs = random_system(16, seed=0)
+        gauss_full(ctx, a_mat, rhs)
+        rows = {r.name: r for r in skeleton_breakdowns(ctx.machine.tracer)}
+        for name in ("array_map", "array_fold", "array_broadcast_part"):
+            assert name in rows, f"missing {name} row"
+            assert rows[name].compute_seconds > 0, name
+        for name in ("array_fold", "array_broadcast_part"):
+            assert rows[name].comm_seconds > 0, name
+        # array_map is purely local; its communication must stay zero
+        assert rows["array_map"].comm_seconds == 0.0
+        # call counts: one fold + one broadcast per elimination step
+        assert rows["array_fold"].calls == 16
+        assert rows["array_broadcast_part"].calls == 16
+        text = format_skeleton_breakdowns(list(rows.values()))
+        assert "array_broadcast_part" in text

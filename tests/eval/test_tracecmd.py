@@ -1,0 +1,67 @@
+"""Tests for the ``python -m repro.eval trace`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.errors import SkilError
+from repro.eval.__main__ import main
+from repro.eval.tracecmd import run_trace_command, run_traced, trace_report_text
+from repro.obs import validate_chrome_trace
+
+
+class TestRunTraced:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SkilError):
+            run_traced("quicksort")
+
+    def test_shpaths_rounds_to_grid(self):
+        run = run_traced("shpaths", p=4, n=11)
+        assert run.n == 12  # rounded up to the torus side 2
+        assert run.machine.tracer is not None
+        assert run.seconds > 0
+
+    def test_report_sections(self):
+        run = run_traced("gauss-full", p=4, n=12)
+        text = trace_report_text(run)
+        assert "per-skeleton breakdown" in text
+        assert "flamegraph rollup" in text
+        assert "metrics:" in text
+        assert "array_fold" in text
+
+
+class TestTraceJson:
+    def test_shpaths_trace_has_rank_tracks_and_paired_spans(self, tmp_path):
+        """Acceptance: the emitted Chrome JSON for a shortest-paths run
+        has one track per rank plus the skeleton-span track, and every
+        skeleton span is closed (begin paired with end)."""
+        out = tmp_path / "shp.json"
+        run_trace_command("shpaths", p=4, n=12, out=str(out))
+        obj = json.loads(out.read_text())
+        assert validate_chrome_trace(obj) == []
+        events = obj["traceEvents"]
+        span_names = {
+            e["name"] for e in events if e["ph"] == "X" and e["tid"] == 0
+        }
+        assert "array_gen_mult" in span_names
+        rank_tids = {e["tid"] for e in events if e["ph"] == "X" and e["tid"] > 0}
+        assert rank_tids == {1, 2, 3, 4}  # one track per rank
+        assert obj["otherData"]["p"] == 4
+
+
+class TestCli:
+    def test_trace_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        rc = main(["trace", "--app", "gauss-full", "--p", "4", "--n", "12",
+                   "--json", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "per-skeleton breakdown" in printed
+        assert str(out) in printed
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+    def test_trace_without_json_file(self, capsys):
+        rc = main(["trace", "--app", "shpaths", "--p", "4", "--n", "8",
+                   "--level", "1"])
+        assert rc == 0
+        assert "flamegraph rollup" in capsys.readouterr().out

@@ -1,0 +1,40 @@
+"""Compiler-layer metrics: instantiation counts and cache hits."""
+
+from repro.lang import compile_skil
+from repro.obs import global_metrics
+
+
+def counters():
+    return global_metrics().snapshot()["counters"]
+
+
+class TestLangMetrics:
+    def test_compile_calls_counted(self):
+        before = counters().get("lang.compile_calls", 0)
+        compile_skil("int f (int x) { return x + 1; }")
+        assert counters()["lang.compile_calls"] == before + 1
+
+    def test_instantiations_counted(self):
+        src = """
+        $b apply ($b f ($a), $a x) { return f (x); }
+        int inc (int x) { return x + 1; }
+        int g (int v) { return apply (inc, v); }
+        """
+        before = counters().get("lang.instantiations", 0)
+        mod = compile_skil(src)
+        made = counters()["lang.instantiations"] - before
+        # every reported instance was counted (entries are not instances)
+        n_reported = sum(len(v) for v in mod.instantiation_report.values())
+        assert made >= n_reported >= 1
+
+    def test_specialization_cache_hits(self):
+        src = """
+        $b apply ($b f ($a), $a x) { return f (x); }
+        int inc (int x) { return x + 1; }
+        int g (int v) { return apply (inc, v) + apply (inc, v); }
+        """
+        before = counters().get("lang.specialize_cache_hits", 0)
+        mod = compile_skil(src)
+        # the second identical call re-uses the first call's instance
+        assert len(mod.instantiation_report["apply"]) == 1
+        assert counters()["lang.specialize_cache_hits"] > before

@@ -1,0 +1,106 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_metrics,
+)
+from repro.obs.metrics import POW2_BUCKETS
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("mem")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_inclusive_upper_bounds(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)  # lands in <=1
+        h.observe(1.5)  # lands in <=2
+        h.observe(100)  # overflow bucket
+        assert h.counts == [1, 1, 0, 1]
+        assert h.nonzero_buckets() == [("<=1", 1), ("<=2", 1), (">4", 1)]
+
+    def test_stats(self):
+        h = Histogram("h", buckets=(10.0,))
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(4.0)
+        assert h.min == 2.0
+        assert h.max == 6.0
+
+    def test_empty_mean(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_default_pow2_buckets(self):
+        h = Histogram("bytes")
+        assert h.buckets == POW2_BUCKETS
+        h.observe(1024)
+        assert ("<=1024", 1) in h.nonzero_buckets()
+
+
+class TestRegistry:
+    def test_instruments_created_on_demand_and_cached(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_shortcuts(self):
+        reg = MetricsRegistry()
+        reg.inc("calls")
+        reg.inc("calls", 2)
+        reg.observe("sizes", 5.0, buckets=(10.0,))
+        assert reg.counter("calls").value == 3
+        assert reg.histogram("sizes").count == 1
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.gauge("g").set(7)
+        reg.observe("h", 3.0, buckets=(4.0,))
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["buckets"] == {"<=4": 1}
+
+    def test_format_lists_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.inc("net.messages")
+        reg.observe("net.bytes", 100.0)
+        text = reg.format()
+        assert "net.messages" in text
+        assert "net.bytes" in text
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.clear()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_metrics() is global_metrics()

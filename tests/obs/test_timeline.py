@@ -1,0 +1,41 @@
+"""Tests for the per-rank activity timeline."""
+
+import pytest
+
+from repro.obs import Interval, Timeline
+from repro.obs.timeline import COMPUTE, IDLE, SEND
+
+
+class TestTimeline:
+    def test_add_and_query(self):
+        tl = Timeline()
+        tl.add(0, COMPUTE, 0.0, 1.0)
+        tl.add(1, SEND, 0.5, 0.7, detail="p2p")
+        assert len(tl) == 2
+        assert tl.ranks() == [0, 1]
+        assert tl.for_rank(1)[0].detail == "p2p"
+        assert tl.for_rank(1)[0].duration == pytest.approx(0.2)
+
+    def test_zero_and_negative_intervals_dropped(self):
+        tl = Timeline()
+        tl.add(0, COMPUTE, 1.0, 1.0)
+        tl.add(0, COMPUTE, 2.0, 1.5)
+        assert len(tl) == 0
+
+    def test_busy_excludes_idle(self):
+        tl = Timeline()
+        tl.add(0, COMPUTE, 0.0, 2.0)
+        tl.add(0, IDLE, 2.0, 5.0)
+        tl.add(0, SEND, 5.0, 6.0)
+        assert tl.busy_seconds(0) == pytest.approx(3.0)
+
+    def test_clear(self):
+        tl = Timeline()
+        tl.add(0, COMPUTE, 0.0, 1.0)
+        tl.clear()
+        assert len(tl) == 0
+
+    def test_interval_is_immutable(self):
+        iv = Interval(0, COMPUTE, 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            iv.end = 2.0
