@@ -1,0 +1,87 @@
+"""CLI for the conformance pillars: ``python -m repro.check``.
+
+Examples
+--------
+Run everything with the default budget::
+
+    PYTHONPATH=src python -m repro.check all --seed 0 --budget 200
+
+Replay one failure printed by a previous run (the per-trial seed goes
+with ``--raw-seed``, exactly as the failure's replay line says)::
+
+    PYTHONPATH=src python -m repro.check fuzz --seed 7000021 --budget 1 --raw-seed
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.check.diffcheck import run_diff, run_diff_raw
+from repro.check.fuzz import run_fuzz, run_fuzz_raw
+from repro.check.oracle import run_oracle, run_oracle_raw
+from repro.check.report import CheckResult, format_result
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Skil conformance checks: fuzzer, skeleton oracle, "
+        "Network/Engine differential tests.",
+    )
+    ap.add_argument(
+        "pillar",
+        choices=["fuzz", "oracle", "diff", "all"],
+        nargs="?",
+        default="all",
+        help="which pillar to run (default: all)",
+    )
+    ap.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    ap.add_argument(
+        "--budget", type=int, default=200,
+        help="number of trials per pillar (default 200)",
+    )
+    ap.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop each pillar after this many wall-clock seconds",
+    )
+    ap.add_argument(
+        "--raw-seed", action="store_true",
+        help="treat --seed as an exact per-trial seed from a failure "
+        "report instead of a base seed",
+    )
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    pillars = ["fuzz", "oracle", "diff"] if args.pillar == "all" else [args.pillar]
+    results: list[CheckResult] = []
+    for pillar in pillars:
+        if args.raw_seed:
+            runner = {
+                "fuzz": run_fuzz_raw,
+                "oracle": run_oracle_raw,
+                "diff": run_diff_raw,
+            }[pillar]
+            res = runner(args.seed, args.budget)
+        else:
+            runner = {"fuzz": run_fuzz, "oracle": run_oracle, "diff": run_diff}[
+                pillar
+            ]
+            res = runner(
+                args.seed,
+                args.budget,
+                time_budget=args.time_budget,
+                verbose=args.verbose,
+            )
+        results.append(res)
+        print(format_result(res))
+        sys.stdout.flush()
+
+    failures = sum(len(r.failures) for r in results)
+    trials = sum(r.trials for r in results)
+    print(f"repro.check: {trials} trial(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

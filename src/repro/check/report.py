@@ -1,0 +1,80 @@
+"""Failure records and result summaries for the ``repro.check`` pillars.
+
+Every pillar reports through the same two types so the CLI can print a
+uniform summary and, for every failure, a **one-line replay command**
+plus (when the fuzzer produced one) a minimized reproducer program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Failure", "CheckResult", "format_failure", "format_result"]
+
+
+@dataclass
+class Failure:
+    """One check failure, self-contained enough to replay."""
+
+    pillar: str  #: "fuzz" | "oracle" | "diff"
+    seed: int  #: the per-trial seed that deterministically reproduces it
+    title: str  #: one-line description of what went wrong
+    detail: str = ""  #: the mismatch / traceback text
+    reproducer: str = ""  #: minimized Skil source (fuzz pillar only)
+    replay: str = ""  #: one-line shell command that replays the failure
+
+    def replay_command(self) -> str:
+        if self.replay:
+            return self.replay
+        return (
+            f"PYTHONPATH=src python -m repro.check {self.pillar} "
+            f"--seed {self.seed} --budget 1"
+        )
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one pillar run."""
+
+    pillar: str
+    trials: int = 0
+    failures: list[Failure] = field(default_factory=list)
+    #: free-form coverage counters (skeleton -> number of trials, ...)
+    coverage: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def merge(self, other: "CheckResult") -> "CheckResult":
+        self.trials += other.trials
+        self.failures.extend(other.failures)
+        for k, v in other.coverage.items():
+            self.coverage[k] = self.coverage.get(k, 0) + v
+        return self
+
+
+def format_failure(f: Failure) -> str:
+    lines = [
+        f"FAIL [{f.pillar}] seed={f.seed}: {f.title}",
+        f"  replay: {f.replay_command()}",
+    ]
+    if f.detail:
+        for ln in f.detail.strip().splitlines():
+            lines.append(f"  | {ln}")
+    if f.reproducer:
+        lines.append("  minimized reproducer:")
+        for ln in f.reproducer.strip().splitlines():
+            lines.append(f"  > {ln}")
+    return "\n".join(lines)
+
+
+def format_result(res: CheckResult) -> str:
+    status = "OK" if res.ok else f"{len(res.failures)} FAILURE(S)"
+    lines = [f"[{res.pillar}] {res.trials} trial(s): {status}"]
+    if res.coverage:
+        cov = ", ".join(f"{k}={v}" for k, v in sorted(res.coverage.items()))
+        lines.append(f"  coverage: {cov}")
+    for f in res.failures:
+        lines.append(format_failure(f))
+    return "\n".join(lines)

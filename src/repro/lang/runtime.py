@@ -247,12 +247,23 @@ def sqrt(x) -> float:
 
 
 def c_div(a, b):
-    """C's truncating integer division."""
+    """C's truncating integer division (elementwise on numpy arrays)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        # fdiv + correction instead of trunc(a/b): exact for all int64,
+        # where the float path loses precision beyond 2**53
+        q = a // b
+        return q + ((a % b != 0) & ((a < 0) != (b < 0)))
     q = a / b
     return int(q) if q >= 0 else -int(-q)
 
 
 def c_mod(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        return a - c_div(a, b) * b
     return int(a) - c_div(a, b) * int(b)
 
 

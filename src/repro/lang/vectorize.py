@@ -138,6 +138,10 @@ class _Vectorizer:
             return self._translate_stmts(list(s.stmts))
         return self._translate_stmts([s])
 
+    def _is_int(self, t: Type | None) -> bool:
+        t = self.resolved(t) if t is not None else None
+        return isinstance(t, TPrim) and t.name in ("int", "unsigned", "char")
+
     # ------------------------------------------------------------------ exprs
     def _expr(self, e: A.Expr) -> tuple[str, bool]:
         """Translate an expression; returns (code, is_uniform)."""
@@ -180,6 +184,12 @@ class _Vectorizer:
                     return f"(({lc}) {op} ({rc}))", True
                 op = "&" if e.op == "&&" else "|"
                 return f"(({lc}) {op} ({rc}))", False
+            if e.op in ("/", "%") and self._is_int(e.ty):
+                # C's truncating semantics, same as the scalar code path
+                # (numpy's / and % floor instead; the repro.check fuzzer
+                # caught the two paths disagreeing on negative operands)
+                fn = "_rt.c_div" if e.op == "/" else "_rt.c_mod"
+                return f"{fn}({lc}, {rc})", uniform
             return f"({lc} {e.op} {rc})", uniform
         if isinstance(e, A.UnOp):
             c, u = self._expr(e.operand)

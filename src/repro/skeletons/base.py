@@ -218,6 +218,20 @@ class SkilContext:
                 f"{a.shape}/{a.dist.grid} vs {b.shape}/{b.dist.grid}"
             )
 
+    def check_block_distribution(self, name: str, *arrays: DistArray) -> None:
+        """Skeletons whose data movement is expressed in contiguous
+        partition coordinates (scan offsets, row segments, whole-block
+        broadcasts) silently corrupt strided layouts — reject them.
+        Surfaced by the ``repro.check`` skeleton oracle."""
+        from repro.arrays.distribution import BlockDistribution
+
+        for a in arrays:
+            if type(a.dist) is not BlockDistribution:
+                raise SkeletonError(
+                    f"{name}: requires a block distribution, got "
+                    f"{type(a.dist).__name__}"
+                )
+
     # ------------------------------------------------------------------ API
     # The skeleton entry points are attached below to keep each
     # implementation in its own module (many small modules, one concern

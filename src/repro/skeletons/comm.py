@@ -34,6 +34,7 @@ __all__ = ["array_broadcast_part", "array_permute_rows", "array_rotate_rows"]
 @skeleton_span("array_broadcast_part")
 def array_broadcast_part(ctx, a: DistArray, ix) -> None:
     """Broadcast the partition owning element *ix* to all processors."""
+    ctx.check_block_distribution("array_broadcast_part", a)
     owner = a.owner(tuple(int(i) for i in ix))
     block = a.local(owner)
     for r in range(ctx.p):
@@ -64,6 +65,7 @@ def array_permute_rows(
     if from_arr.dim != 2:
         raise SkeletonError("array_permute_rows applies only to 2-dimensional arrays")
     ctx.check_same_shape("array_permute_rows", from_arr, to_arr)
+    ctx.check_block_distribution("array_permute_rows", from_arr, to_arr)
     if from_arr is to_arr:
         raise SkeletonError("array_permute_rows: source and target must differ")
 

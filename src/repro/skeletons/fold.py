@@ -114,6 +114,7 @@ def array_scan(ctx, scan_f: Callable, a: DistArray, to_arr: DistArray) -> None:
     if a.dim != 1:
         raise SkeletonError("array_scan currently supports 1-D arrays")
     ctx.check_same_shape("array_scan", a, to_arr)
+    ctx.check_block_distribution("array_scan", a, to_arr)
 
     t_fold = ctx.elem_time(ops_of(scan_f))
     np_op = getattr(scan_f, "np_op", None)

@@ -1,0 +1,148 @@
+"""Partition-bound properties for every distribution kind.
+
+Seeded-random sweep over (shape, grid, distribution) combinations, all
+asserting the fundamental partition invariant: **every global index is
+owned by exactly one rank, and that rank's local index set contains
+it**.  Complements the example-based tests in
+``tests/arrays/test_distribution.py``.
+"""
+
+import random
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.arrays.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    DistributionError,
+)
+
+
+def _index_vectors(dist, rank):
+    """Per-dimension global index vectors of the rank's partition."""
+    if isinstance(dist, BlockDistribution):
+        b = dist.bounds(rank)
+        return tuple(np.arange(lo, hi) for lo, hi in zip(b.lower, b.upper))
+    return dist.local_indices(rank)
+
+
+def _random_cases(seed, make, n_cases=40):
+    """Yield distributions built from seeded-random (shape, grid) pairs."""
+    rng = random.Random(seed)
+    for _ in range(n_cases):
+        dim = rng.choice([1, 1, 2, 3])
+        shape = tuple(rng.randint(1, 12) for _ in range(dim))
+        grid = tuple(rng.randint(1, min(4, s)) for s in shape)
+        dist = make(rng, shape, grid)
+        if dist is not None:
+            yield dist
+
+
+def _check_partition_invariant(dist):
+    """Every index owned exactly once; local sets partition the space."""
+    total = 0
+    owner_of = {}
+    for rank in dist.ranks():
+        vecs = _index_vectors(dist, rank)
+        assert dist.local_shape(rank) == tuple(len(v) for v in vecs)
+        b = dist.bounds(rank)
+        for ix in product(*(v.tolist() for v in vecs)):
+            assert ix not in owner_of, (
+                f"index {ix} in partitions of ranks {owner_of[ix]} and {rank}"
+            )
+            owner_of[ix] = rank
+            assert dist.owner(ix) == rank
+            assert all(lo <= i < hi for i, lo, hi in zip(ix, b.lower, b.upper))
+            total += 1
+    assert total == int(np.prod(dist.shape)), (
+        f"partitions cover {total} of {int(np.prod(dist.shape))} indices"
+    )
+    # exhaustive converse: every global index is in its owner's partition
+    for ix in product(*(range(s) for s in dist.shape)):
+        assert ix in owner_of
+        assert owner_of[ix] == dist.owner(ix)
+
+
+class TestPartitionInvariant:
+    def test_block(self):
+        def make(rng, shape, grid):
+            try:
+                return BlockDistribution(shape, grid)
+            except DistributionError:
+                return None  # more grid positions than elements
+
+        for dist in _random_cases(101, make):
+            _check_partition_invariant(dist)
+
+    def test_cyclic(self):
+        for dist in _random_cases(
+            202, lambda rng, shape, grid: CyclicDistribution(shape, grid)
+        ):
+            _check_partition_invariant(dist)
+
+    def test_block_cyclic(self):
+        def make(rng, shape, grid):
+            block = tuple(rng.randint(1, 3) for _ in shape)
+            return BlockCyclicDistribution(shape, grid, block)
+
+        for dist in _random_cases(303, make):
+            _check_partition_invariant(dist)
+
+
+class TestBlockBoundsShape:
+    def test_blocks_are_contiguous_and_ordered(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            n = rng.randint(1, 40)
+            g = rng.randint(1, min(6, n))
+            dist = BlockDistribution((n,), (g,))
+            cursor = 0
+            for r in range(g):
+                b = dist.bounds(r)
+                assert b.lower[0] == cursor
+                assert b.upper[0] > b.lower[0]
+                cursor = b.upper[0]
+            assert cursor == n
+
+    def test_leading_ranks_get_extra_elements(self):
+        dist = BlockDistribution((10,), (4,))
+        sizes = [dist.local_shape(r)[0] for r in range(4)]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_from_pardata_args_defaults(self):
+        rng = random.Random(11)
+        for _ in range(30):
+            n = rng.randint(4, 30)
+            g = rng.randint(1, 4)
+            ceil = -(-n // g)
+            d1 = BlockDistribution.from_pardata_args(1, (n,), (0,), (-1,), (g,))
+            d2 = BlockDistribution.from_pardata_args(1, (n,), (ceil,), (-1,), (g,))
+            for r in range(g):
+                assert d1.bounds(r) == d2.bounds(r)
+
+    def test_from_pardata_args_rejects_inconsistent_blocksize(self):
+        with pytest.raises(DistributionError, match="blocksize"):
+            BlockDistribution.from_pardata_args(1, (10,), (2,), (-1,), (4,))
+
+    def test_from_pardata_args_rejects_positive_lowerbd(self):
+        with pytest.raises(DistributionError, match="lowerbd"):
+            BlockDistribution.from_pardata_args(1, (10,), (0,), (3,), (2,))
+
+
+class TestOwnerRejectsOutOfRange:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            BlockDistribution((6, 4), (2, 2)),
+            CyclicDistribution((6, 4), (2, 2)),
+            BlockCyclicDistribution((6, 4), (2, 2), (2, 1)),
+        ],
+        ids=["block", "cyclic", "block-cyclic"],
+    )
+    def test_out_of_range(self, dist):
+        for bad in [(-1, 0), (6, 0), (0, 4), (0, -1)]:
+            with pytest.raises(DistributionError):
+                dist.owner(bad)

@@ -165,3 +165,160 @@ class TestRingAlgorithms:
 
         t = run_spmd(T800_PARSYTEC, ring, prog)
         assert 0 < t < 1.0  # ~ms scale for 1 KB on T800 links
+
+
+class TestAnySourceTagInteractions:
+    """ANY_SOURCE combined with multiple concurrent tags (satellite of
+    the repro.check subsystem; see docs/TESTING.md)."""
+
+    def test_two_tag_streams_kept_separate(self, cost):
+        """Wildcard receives drain only their own tag's stream even when
+        another tag's messages arrive earlier."""
+        from repro.machine.engine import ANY_SOURCE
+
+        topo = DefaultMapping(Mesh2D(2, 2))
+        got = {"a": [], "b": []}
+
+        def prog(rank, p):
+            if rank == 0:
+                # senders 1,2 use tag "a"; 3 uses tag "b"; "b" is sent
+                # first but must not satisfy the "a" wildcards
+                for _ in range(2):
+                    v = yield Recv(ANY_SOURCE, tag="a")
+                    got["a"].append(v)
+                v = yield Recv(ANY_SOURCE, tag="b")
+                got["b"].append(v)
+            elif rank in (1, 2):
+                yield Compute(100.0)
+                yield ISend(0, payload=f"a{rank}", nbytes=8, tag="a")
+            else:
+                yield ISend(0, payload="b3", nbytes=8, tag="b")
+
+        run_spmd(cost, topo, prog)
+        assert sorted(got["a"]) == ["a1", "a2"]
+        assert got["b"] == ["b3"]
+
+    def test_wildcard_and_specific_same_tag_fifo(self, cost):
+        """A specific Recv and a wildcard Recv on the same tag drain one
+        sender's FIFO channel in order."""
+        from repro.machine.engine import ANY_SOURCE
+
+        topo = DefaultMapping(Mesh2D(2, 2))
+        order = []
+
+        def prog(rank, p):
+            if rank == 0:
+                v = yield Recv(1, tag="t")
+                order.append(v)
+                v = yield Recv(ANY_SOURCE, tag="t")
+                order.append(v)
+            elif rank == 1:
+                yield ISend(0, payload="first", nbytes=4, tag="t")
+                yield ISend(0, payload="second", nbytes=4, tag="t")
+
+        run_spmd(cost, topo, prog)
+        assert order == ["first", "second"]
+
+    def test_wildcard_matches_pending_sync_sender(self, cost):
+        """A wildcard receive must complete a rendezvous with the
+        earliest-ready blocked synchronous sender."""
+        from repro.machine.engine import ANY_SOURCE
+
+        topo = DefaultMapping(Mesh2D(2, 2))
+        got = []
+
+        def prog(rank, p):
+            if rank == 0:
+                yield Compute(50.0)
+                got.append((yield Recv(ANY_SOURCE, tag="s")))
+                got.append((yield Recv(ANY_SOURCE, tag="s")))
+            elif rank == 1:
+                yield Compute(10.0)
+                yield Send(0, payload="late", nbytes=4, tag="s")
+            elif rank == 2:
+                yield Send(0, payload="early", nbytes=4, tag="s")
+
+        run_spmd(cost, topo, prog)
+        # rank 2 posted its send at t=0, rank 1 at t=10: earliest wins
+        assert got == ["early", "late"]
+
+
+class TestDeadlockReporting:
+    """Deadlock detection on generated SPMD programs, driven by the
+    repro.check pattern generator."""
+
+    def test_sync_send_cycle_reports_all_ranks(self, cost):
+        """The classic bug the paper's skeletons make impossible: every
+        rank Send()s synchronously around a ring before receiving."""
+        from repro.errors import DeadlockError
+
+        ring = Ring(Mesh2D(2, 2))
+
+        def prog(rank, p):
+            yield Send(ring.succ(rank), nbytes=8, tag="cycle")
+            yield Recv(ring.pred(rank), tag="cycle")
+
+        with pytest.raises(DeadlockError, match=r"ranks \[0, 1, 2, 3\]"):
+            run_spmd(cost, ring, prog)
+
+    def test_generated_pattern_runs_clean(self, cost):
+        """Random repro.check patterns projected per rank terminate."""
+        import random
+
+        from repro.check.diffcheck import (
+            _rank_program,
+            expand_primitives,
+            generate_pattern,
+        )
+        from repro.machine.engine import Engine
+
+        for seed in range(8):
+            rng = random.Random(seed)
+            topo = DefaultMapping(Mesh2D(2, 2))
+            ops = generate_pattern(rng, 4, ring=False)
+            prims = expand_primitives(ops, topo, 4)
+            eng = Engine(cost, topo)
+            for r in range(4):
+                eng.spawn(r, _rank_program(prims, r))
+            assert eng.run() >= 0.0
+
+    def test_generated_pattern_with_dropped_recv_deadlocks(self, cost):
+        """Removing one Recv from a generated pattern must deadlock its
+        synchronous peer (or leave the receiver blocked) — and the
+        engine must name the stuck ranks."""
+        import random
+
+        from repro.check.diffcheck import _rank_program, expand_primitives
+        from repro.errors import DeadlockError
+        from repro.machine.engine import Engine
+
+        rng = random.Random(0)
+        topo = DefaultMapping(Mesh2D(2, 2))
+        # one sync p2p, then a barrier-equivalent allreduce keeps every
+        # rank entangled with the missing message
+        ops = [("p2p", 0, 1, 64, True), ("allreduce", 32, 0.0, False)]
+        prims = expand_primitives(ops, topo, 4)
+        recv_idx = next(
+            i for i, pr in enumerate(prims) if pr[0] == "recv" and pr[1] == 1
+        )
+        broken = prims[:recv_idx] + prims[recv_idx + 1 :]
+        eng = Engine(cost, topo)
+        for r in range(4):
+            eng.spawn(r, _rank_program(broken, r))
+        with pytest.raises(DeadlockError, match="blocked forever"):
+            eng.run()
+
+    def test_deadlock_message_lists_only_blocked_ranks(self, cost):
+        """A rank that finished cleanly must not be reported."""
+        from repro.errors import DeadlockError
+
+        topo = DefaultMapping(Mesh2D(2, 2))
+
+        def prog(rank, p):
+            if rank == 0:
+                yield Recv(3, tag="never")
+            else:
+                yield Compute(1.0)
+
+        with pytest.raises(DeadlockError, match=r"ranks \[0\]"):
+            run_spmd(cost, topo, prog)
