@@ -1,0 +1,49 @@
+"""Benchmark F — fused whole-array execution vs the per-rank loop.
+
+Times the same skeleton workload under both execution modes (see
+docs/PERFORMANCE.md) and asserts the *simulated* seconds agree bitwise —
+the wall-clock gap is purely simulator speed.  ``python -m
+repro.eval bench`` is the standalone version with the committed JSON
+record; this keeps the comparison visible in the pytest-benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistArray
+from repro.machine.machine import Machine
+from repro.skeletons import PLUS, SkilContext, skil_fn
+
+P = 64
+
+
+def _workload(fused: bool, n: int, m: int) -> float:
+    ctx = SkilContext(Machine(P), fused=fused)
+    data = np.random.default_rng(0).uniform(-1.0, 1.0, size=(n, m))
+    src = DistArray.from_global(ctx.machine, data)
+    dst = DistArray.from_global(ctx.machine, np.zeros((n, m)))
+    f = skil_fn(
+        ops=2, vectorized=lambda block, grids, env: block * 1.0001 + grids[0]
+    )(lambda v, ix: v * 1.0001 + ix[0])
+    conv = skil_fn(
+        ops=2, vectorized=lambda block, grids, env: block * block
+    )(lambda v, ix: v * v)
+    for _ in range(5):
+        ctx.array_map(f, src, dst)
+        ctx.array_copy(dst, src)
+    total = ctx.array_fold(conv, PLUS, src)
+    assert np.isfinite(total)
+    return ctx.machine.time
+
+
+@pytest.mark.parametrize("mode", ["fused", "per-rank"])
+def test_bench_fused_vs_per_rank(benchmark, scale, mode):
+    n = max(P, int(512 * scale))
+    m = max(16, int(192 * scale))
+    sim = benchmark.pedantic(
+        lambda: _workload(mode == "fused", n, m), rounds=3, iterations=1
+    )
+    benchmark.extra_info["simulated_seconds"] = sim
+    benchmark.extra_info["p"] = P
+    # the two modes must simulate the identical machine time
+    assert sim == _workload(mode != "fused", n, m)

@@ -36,6 +36,7 @@ from repro.errors import SkilError, SkilRuntimeError
 from repro.machine.machine import DISTR_DEFAULT
 from repro.skeletons import SkilContext, papply, skil_fn
 from repro.skeletons.base import current_context
+from repro.skeletons.fuse import FusionFallback
 
 __all__ = ["gauss_simple", "gauss_full", "ELEMREC", "random_system"]
 
@@ -124,6 +125,16 @@ def switch_rows(r1: int, r2: int, i: int) -> int:
     return i
 
 
+def _require_row_block(fenv, *arrays):
+    """Fused gauss kernels assume pooled arrays distributed as contiguous
+    row blocks over all p processors (grid ``(p, 1)``), which is how the
+    paper lays the extended matrix and ``piv`` out.  Anything else falls
+    back to the per-rank path."""
+    for arr in arrays:
+        if arr.pool is None or arr.dist.grid != (fenv.p,) + (1,) * (arr.dim - 1):
+            raise FusionFallback("needs pooled row-block arrays")
+
+
 def _copy_pivot_vec(a, k, block, grids, env):
     """Vectorized copy_pivot: partially applied to (a, k) like the paper."""
     bounds = a.part_bounds(env.rank)
@@ -133,7 +144,20 @@ def _copy_pivot_vec(a, k, block, grids, env):
     return block
 
 
-@skil_fn(ops=1, vectorized=_copy_pivot_vec)
+def _copy_pivot_fused(a, k, pool, grids, fenv):
+    """Whole-array copy_pivot: one row of ``piv`` changes — the one owned
+    by the processor whose partition of *a* contains row *k*.  Same
+    ``row / row[k]`` division as the per-rank kernel, so values are
+    bit-identical."""
+    _require_row_block(fenv, a)
+    owner = a.owner((k,) + (0,) * (a.dim - 1))
+    row = a.pool[k, :]
+    out = pool.copy()
+    out[owner, :] = row / row[k]
+    return out
+
+
+@skil_fn(ops=1, vectorized=_copy_pivot_vec, fused=_copy_pivot_fused)
 def copy_pivot(a, k, v, ix):
     """Overwrite the piv element if this processor holds the pivot row.
 
@@ -161,7 +185,23 @@ def _eliminate_vec(k, a, piv, block, grids, env):
     return out
 
 
-@skil_fn(ops=2, vectorized=_eliminate_vec)
+def _eliminate_fused(k, a, piv, pool, grids, fenv):
+    """Whole-array eliminate: each row *i* subtracts ``a[i, k]`` times the
+    pivot row its owner holds in ``piv``; the pivot row itself and the
+    columns left of *k* are restored from the source, exactly like the
+    per-rank kernel (elementwise numpy ops are per-element deterministic,
+    so the values match bitwise)."""
+    _require_row_block(fenv, a, piv)
+    ranks = a.dist.owner_vectors()[0]  # owning rank per global row
+    col_k = a.pool[:, k]
+    piv_rows = piv.pool[ranks, :]
+    out = pool - col_k[:, None] * piv_rows
+    out[:, :k] = pool[:, :k]
+    out[k, :] = pool[k, :]
+    return out
+
+
+@skil_fn(ops=2, vectorized=_eliminate_vec, fused=_eliminate_fused)
 def eliminate(k, a, piv, v, ix):
     """The paper's eliminate, scalar path (tiny problems/tests only)."""
     if ix[0] == k or ix[1] < k:
@@ -181,7 +221,18 @@ def _normalize_vec(a, block, grids, env):
     return out
 
 
-@skil_fn(ops=1, vectorized=_normalize_vec)
+def _normalize_fused(a, pool, grids, fenv):
+    """Whole-array normalize: divide the last column by the diagonal."""
+    _require_row_block(fenv, a)
+    n_col = a.shape[1] - 1
+    nrows = a.shape[0]
+    diag = a.pool[np.arange(nrows), np.arange(nrows)]
+    out = pool.copy()
+    out[:, n_col] = pool[:, n_col] / diag
+    return out
+
+
+@skil_fn(ops=1, vectorized=_normalize_vec, fused=_normalize_fused)
 def normalize(a, v, ix):
     """Divide the last column by the diagonal element of its row."""
     n_col = a.shape[1] - 1

@@ -77,9 +77,25 @@ class DistArray:
         self.dist = dist
         self.dtype = np.dtype(dtype)
         self.distr = distr
-        self._blocks: list[np.ndarray] = [
-            np.zeros(dist.local_shape(r), dtype=self.dtype) for r in range(machine.p)
-        ]
+        self._pool: np.ndarray | None = None
+        if type(dist) is BlockDistribution:
+            # pooled storage: block partitions are disjoint rectangles
+            # covering the index space, so every block can be a view into
+            # one contiguous global buffer — global_view/fill_from_global
+            # become O(1) and skeletons can run one fused kernel over the
+            # whole array.  Strided (cyclic) layouts keep per-rank copies.
+            self._pool = np.zeros(dist.shape, dtype=self.dtype)
+            self._blocks: list[np.ndarray] = [
+                self._pool[
+                    tuple(slice(l, u) for l, u in zip(b.lower, b.upper))
+                ]
+                for b in (dist.bounds(r) for r in range(machine.p))
+            ]
+        else:
+            self._blocks = [
+                np.zeros(dist.local_shape(r), dtype=self.dtype)
+                for r in range(machine.p)
+            ]
         self._alive = True
         self._memory_registered = _register_memory
         if _register_memory:
@@ -110,6 +126,7 @@ class DistArray:
             for r in range(self.p):
                 self.machine.free(r, self._blocks[r].nbytes)
         self._blocks = []
+        self._pool = None
         self._alive = False
 
     @property
@@ -134,6 +151,15 @@ class DistArray:
     def _local_pos(self, index: Sequence[int], rank: int) -> tuple[int, ...]:
         """Partition-local coordinates of a global index, or LocalityError."""
         index = tuple(int(i) for i in index)
+        if getattr(self.dist, "local_indices", None) is None:
+            # contiguous block partition: position is a subtraction
+            b = self.part_bounds(rank)
+            if not b.contains(index):
+                raise LocalityError(
+                    f"processor {rank} may not access element {index}: it is "
+                    f"not in its partition (bounding box [{b.lower}, {b.upper}))"
+                )
+            return b.localize(index)
         vecs = self.local_index_vectors(rank)
         pos = []
         for i, v in zip(index, vecs):
@@ -162,6 +188,14 @@ class DistArray:
         return self.dist.owner(index)
 
     # ------------------------------------------------------------------ blocks
+    @property
+    def pool(self) -> np.ndarray | None:
+        """The contiguous global buffer backing all blocks, or ``None``
+        for strided (cyclic/block-cyclic) layouts.  Every ``local(r)`` is
+        a view into it; fused skeleton paths read and write it directly."""
+        self._check_alive()
+        return self._pool
+
     def local(self, rank: int) -> np.ndarray:
         """The partition of *rank* (skeleton-internal; mutating it is the
         skeleton's responsibility)."""
@@ -175,7 +209,12 @@ class DistArray:
                 f"partition shape {block.shape} != expected "
                 f"{self._blocks[rank].shape} on rank {rank}"
             )
-        self._blocks[rank] = np.asarray(block, dtype=self.dtype)
+        if self._pool is not None:
+            # pooled blocks are views into the global buffer — write
+            # through them so the pool stays the single source of truth
+            self._blocks[rank][...] = np.asarray(block, dtype=self.dtype)
+        else:
+            self._blocks[rank] = np.asarray(block, dtype=self.dtype)
 
     def local_index_vectors(self, rank: int) -> tuple[np.ndarray, ...]:
         """Global indices owned by *rank*, one sorted vector per dimension.
@@ -184,31 +223,20 @@ class DistArray:
         cyclic/block-cyclic extensions (which expose ``local_indices``).
         """
         self._check_alive()
-        li = getattr(self.dist, "local_indices", None)
-        if li is not None:
-            return tuple(np.asarray(v, dtype=np.intp) for v in li(rank))
-        b = self.part_bounds(rank)
-        return tuple(
-            np.arange(l, u, dtype=np.intp) for l, u in zip(b.lower, b.upper)
-        )
+        return self.dist.index_vectors(rank)
 
     def index_grids(self, rank: int) -> tuple[np.ndarray, ...]:
         """Per-dimension global index vectors of the partition of *rank*
         (open-meshed, ready for numpy broadcasting).  This is what the
         vectorized map kernels receive as the ``Index`` argument."""
-        vecs = self.local_index_vectors(rank)
-        return tuple(
-            v.reshape([-1 if d == i else 1 for i in range(self.dim)])
-            for d, v in enumerate(vecs)
-        )
+        self._check_alive()
+        return self.dist.index_grids(rank)
 
     def iter_local_indices(self, rank: int):
         """Iterate ``(local_index, global_index)`` pairs of a partition —
         the elementwise traversal the scalar skeleton paths use, valid
         for every distribution kind."""
         vecs = self.local_index_vectors(rank)
-        import itertools
-
         for local_ix in np.ndindex(*(len(v) for v in vecs)):
             yield local_ix, tuple(int(v[i]) for v, i in zip(vecs, local_ix))
 
@@ -220,6 +248,10 @@ class DistArray:
         (it is a gather); simulated time is *not* charged.
         """
         self._check_alive()
+        if self._pool is not None:
+            # a copy, not the pool itself: callers (array_map_overlap,
+            # oracles) read it while skeletons may write the pool
+            return self._pool.copy()
         out = np.zeros(self.shape, dtype=self.dtype)
         for r in range(self.p):
             vecs = self.local_index_vectors(r)
@@ -235,6 +267,9 @@ class DistArray:
             raise DistributionError(
                 f"global data shape {data.shape} != array shape {self.shape}"
             )
+        if self._pool is not None:
+            self._pool[...] = data
+            return
         for r in range(self.p):
             vecs = self.local_index_vectors(r)
             self._blocks[r][...] = data[np.ix_(*vecs)]

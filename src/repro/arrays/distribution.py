@@ -89,6 +89,12 @@ class Distribution:
             raise DistributionError(f"invalid array shape {self.shape}")
         if any(g <= 0 for g in self.grid):
             raise DistributionError(f"invalid grid shape {self.grid}")
+        # a distribution is immutable once built, so per-rank geometry is
+        # memoized here; every DistArray sharing the distribution reuses it
+        self._bounds_cache: dict[int, Bounds] = {}
+        self._vector_cache: dict[int, tuple[np.ndarray, ...]] = {}
+        self._grid_cache: dict[int, tuple[np.ndarray, ...]] = {}
+        self._global_grids: tuple[np.ndarray, ...] | None = None
 
     @property
     def dim(self) -> int:
@@ -118,11 +124,64 @@ class Distribution:
             r = r * g + c
         return r
 
+    def bounds(self, rank: int) -> Bounds:
+        b = self._bounds_cache.get(rank)
+        if b is None:
+            b = self._bounds_cache[rank] = self._compute_bounds(rank)
+        return b
+
+    def index_vectors(self, rank: int) -> tuple[np.ndarray, ...]:
+        """Global indices owned by *rank*, one sorted read-only vector per
+        dimension (memoized)."""
+        vecs = self._vector_cache.get(rank)
+        if vecs is None:
+            li = getattr(self, "local_indices", None)
+            if li is not None:
+                vecs = tuple(np.asarray(v, dtype=np.intp) for v in li(rank))
+            else:
+                b = self.bounds(rank)
+                vecs = tuple(
+                    np.arange(l, u, dtype=np.intp)
+                    for l, u in zip(b.lower, b.upper)
+                )
+            for v in vecs:
+                v.setflags(write=False)
+            self._vector_cache[rank] = vecs
+        return vecs
+
+    def index_grids(self, rank: int) -> tuple[np.ndarray, ...]:
+        """:meth:`index_vectors` open-meshed for broadcasting (memoized)."""
+        grids = self._grid_cache.get(rank)
+        if grids is None:
+            dim = self.dim
+            grids = tuple(
+                v.reshape([-1 if d == i else 1 for i in range(dim)])
+                for d, v in enumerate(self.index_vectors(rank))
+            )
+            self._grid_cache[rank] = grids
+        return grids
+
+    def global_index_grids(self) -> tuple[np.ndarray, ...]:
+        """Open-meshed index grids spanning the whole array (memoized) —
+        what a fused whole-array kernel receives instead of per-partition
+        grids."""
+        if self._global_grids is None:
+            dim = self.dim
+            grids = []
+            for d, n in enumerate(self.shape):
+                v = np.arange(n, dtype=np.intp).reshape(
+                    [-1 if d == i else 1 for i in range(dim)]
+                )
+                v.setflags(write=False)
+                grids.append(v)
+            self._global_grids = tuple(grids)
+        return self._global_grids
+
     # -- to be provided by subclasses ---------------------------------------
     def owner(self, index: Sequence[int]) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def bounds(self, rank: int) -> Bounds:  # pragma: no cover - abstract
+    def _compute_bounds(self, rank: int) -> Bounds:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def local_shape(self, rank: int) -> tuple[int, ...]:
@@ -170,6 +229,9 @@ class BlockDistribution(Distribution):
                     f"more grid positions ({g}) than elements ({n}) in one dimension"
                 )
             self._splits.append(np.concatenate(([0], np.cumsum(sizes))))
+        self._owner_vectors: tuple[np.ndarray, ...] | None = None
+        self._slice_cache: dict[int, tuple[slice, ...]] = {}
+        self._part_sizes: np.ndarray | None = None
 
     def owner(self, index: Sequence[int]) -> int:
         coords = []
@@ -179,7 +241,46 @@ class BlockDistribution(Distribution):
             coords.append(int(np.searchsorted(self._splits[d], i, side="right") - 1))
         return self.grid_rank(coords)
 
-    def bounds(self, rank: int) -> Bounds:
+    def owner_vectors(self) -> tuple[np.ndarray, ...]:
+        """Per-dimension grid coordinate of every global index (memoized,
+        read-only) — lets fused kernels map indices to owning processors
+        without per-element ``owner`` calls."""
+        if self._owner_vectors is None:
+            out = []
+            for d, n in enumerate(self.shape):
+                c = np.searchsorted(
+                    self._splits[d], np.arange(n), side="right"
+                ) - 1
+                c.setflags(write=False)
+                out.append(c)
+            self._owner_vectors = tuple(out)
+        return self._owner_vectors
+
+    def part_slices(self, rank: int) -> tuple[slice, ...]:
+        """Owned bounds as a ready-to-index slice tuple (memoized) — the
+        fused skeleton paths carve every partition out of the converted
+        whole-array result with these."""
+        s = self._slice_cache.get(rank)
+        if s is None:
+            b = self.bounds(rank)
+            s = self._slice_cache[rank] = tuple(
+                slice(l, u) for l, u in zip(b.lower, b.upper)
+            )
+        return s
+
+    def part_sizes(self) -> np.ndarray:
+        """Element count of every partition as one read-only vector
+        (memoized) — used to charge per-rank cost vectors without a
+        per-rank ``bounds`` walk."""
+        if self._part_sizes is None:
+            v = np.array(
+                [self.bounds(r).size for r in range(self.p)], dtype=np.intp
+            )
+            v.setflags(write=False)
+            self._part_sizes = v
+        return self._part_sizes
+
+    def _compute_bounds(self, rank: int) -> Bounds:
         coords = self.grid_coords(rank)
         lower = tuple(int(self._splits[d][c]) for d, c in enumerate(coords))
         upper = tuple(int(self._splits[d][c + 1]) for d, c in enumerate(coords))
@@ -258,7 +359,7 @@ class CyclicDistribution(Distribution):
             for c, n, g in zip(coords, self.shape, self.grid)
         )
 
-    def bounds(self, rank: int) -> Bounds:
+    def _compute_bounds(self, rank: int) -> Bounds:
         idx = self.local_indices(rank)
         lower = tuple(int(a[0]) if len(a) else 0 for a in idx)
         upper = tuple(int(a[-1]) + 1 if len(a) else 0 for a in idx)
@@ -297,7 +398,7 @@ class BlockCyclicDistribution(Distribution):
             out.append(np.asarray(idx, dtype=np.intp))
         return tuple(out)
 
-    def bounds(self, rank: int) -> Bounds:
+    def _compute_bounds(self, rank: int) -> Bounds:
         idx = self.local_indices(rank)
         lower = tuple(int(a[0]) if len(a) else 0 for a in idx)
         upper = tuple(int(a[-1]) + 1 if len(a) else 0 for a in idx)

@@ -50,8 +50,21 @@ def main(argv: list[str] | None = None) -> int:
         help="treat --seed as an exact per-trial seed from a failure "
         "report instead of a base seed",
     )
+    ap.add_argument(
+        "--fused",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force the fused whole-array fast path on (--fused) or off "
+        "(--no-fused) for every context the checks build; the default "
+        "keeps the process default (REPRO_FUSED)",
+    )
     ap.add_argument("-v", "--verbose", action="store_true")
     args = ap.parse_args(argv)
+
+    if args.fused is not None:
+        from repro.skeletons.fuse import set_fusion_default
+
+        set_fusion_default(args.fused)
 
     pillars = ["fuzz", "oracle", "diff"] if args.pillar == "all" else [args.pillar]
     results: list[CheckResult] = []

@@ -1,0 +1,466 @@
+"""Wall-clock benchmark harness: ``python -m repro.eval bench``.
+
+Simulated seconds are charged analytically and never depend on how fast
+the Python host executes — but *wall-clock* does, and the ROADMAP's
+"runs as fast as the hardware allows" goal is about wall-clock.  This
+harness times the skeleton hot paths twice, once with the fused
+whole-array execution layer enabled and once with it disabled (the
+historical per-rank path), and records both together with their
+speedup into ``BENCH_perf.json``:
+
+* **microbenchmarks** — ``map`` / ``zip`` / ``fold`` / ``create`` /
+  ``copy`` at ``p ∈ {4, 16, 64}`` over seeded block-distributed arrays.
+  Only the skeleton calls are inside the timed region; setup (machine
+  construction, RNG data generation, initial distribution) happens once
+  per mode, untimed, so the ratio measures skeleton execution and not
+  harness overhead shared by both paths;
+* **end-to-end drivers** — one Table 1 cell (shortest paths) and one
+  Table 2 cell (Gaussian elimination), plus (without ``--quick``) the
+  full ``python -m repro.eval all`` driver set.  These are timed whole —
+  for an end-to-end driver the setup is part of the workload.
+
+Every pair of runs also asserts that the **simulated** seconds are
+bit-identical between the fused and per-rank paths — the harness
+doubles as the perf-equivalence gate.
+
+``--check-against FILE`` compares the measured fused speedups of the
+``map``/``fold`` microbenchmarks against a previously committed
+``BENCH_perf.json`` and fails (exit 1) when any of them regressed by
+more than 25 % — the CI ``bench-smoke`` contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: processor counts exercised by the microbenchmarks
+MICRO_PS = (4, 16, 64)
+
+#: regression tolerance for --check-against (fraction of the committed
+#: speedup that must still be reached)
+REGRESSION_FLOOR = 0.75
+
+#: microbenchmark names gated by --check-against
+GATED_MICROS = ("map", "fold")
+
+
+def _set_fusion(enabled: bool) -> bool:
+    """Flip the global fusion default; returns False when the fused
+    layer is not available (pre-optimization baseline capture)."""
+    try:
+        from repro.skeletons.fuse import set_fusion_default
+    except ImportError:
+        return False
+    set_fusion_default(enabled)
+    return True
+
+
+def _fusion_available() -> bool:
+    try:
+        from repro.skeletons import fuse  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _time_best(fn: Callable[[], float], repeat: int) -> tuple[float, float]:
+    """Run *fn* ``repeat`` times; returns (best wall seconds, simulated
+    seconds of the last run).  *fn* returns the run's simulated time."""
+    best = float("inf")
+    sim = 0.0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        sim = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, sim
+
+
+# ---------------------------------------------------------------------------
+# microbenchmarks — each is a *factory*: called once per execution mode it
+# does the (untimed) setup and returns the measured closure, which runs the
+# skeleton loop and returns the machine's accumulated simulated seconds
+# ---------------------------------------------------------------------------
+def _micro_ctx(p: int):
+    from repro.machine.machine import Machine
+    from repro.skeletons import SkilContext
+
+    return SkilContext(Machine(p))
+
+
+def _seed_data(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(-1.0, 1.0, size=shape)
+
+
+def _micro_map(p: int, n: int, m: int, iters: int, seed: int) -> Callable[[], float]:
+    from repro.arrays.darray import DistArray
+    from repro.skeletons import skil_fn
+
+    ctx = _micro_ctx(p)
+    src = DistArray.from_global(ctx.machine, _seed_data((n, m), seed))
+    dst = DistArray.from_global(ctx.machine, np.zeros((n, m)))
+    f = skil_fn(
+        ops=2, vectorized=lambda block, grids, env: block * 1.0001 + grids[0]
+    )(lambda v, ix: v * 1.0001 + ix[0])
+
+    def run() -> float:
+        for _ in range(iters):
+            ctx.array_map(f, src, dst)
+        return ctx.machine.time
+
+    return run
+
+
+def _micro_zip(p: int, n: int, m: int, iters: int, seed: int) -> Callable[[], float]:
+    from repro.arrays.darray import DistArray
+    from repro.skeletons import skil_fn
+
+    ctx = _micro_ctx(p)
+    a = DistArray.from_global(ctx.machine, _seed_data((n, m), seed))
+    b = DistArray.from_global(ctx.machine, _seed_data((n, m), seed + 1))
+    dst = DistArray.from_global(ctx.machine, np.zeros((n, m)))
+    f = skil_fn(
+        ops=2, vectorized=lambda ba, bb, grids, env: ba * bb + grids[1]
+    )(lambda x, y, ix: x * y + ix[1])
+
+    def run() -> float:
+        for _ in range(iters):
+            ctx.array_zip(f, a, b, dst)
+        return ctx.machine.time
+
+    return run
+
+
+def _micro_fold(p: int, n: int, m: int, iters: int, seed: int) -> Callable[[], float]:
+    from repro.arrays.darray import DistArray
+    from repro.skeletons import PLUS, skil_fn
+
+    ctx = _micro_ctx(p)
+    arr = DistArray.from_global(ctx.machine, _seed_data((n, m), seed))
+    conv = skil_fn(
+        ops=2, vectorized=lambda block, grids, env: block * block + grids[0]
+    )(lambda v, ix: v * v + ix[0])
+
+    def run() -> float:
+        acc = 0.0
+        for _ in range(iters):
+            acc += ctx.array_fold(conv, PLUS, arr)
+        assert np.isfinite(acc)
+        return ctx.machine.time
+
+    return run
+
+
+def _micro_create(p: int, n: int, m: int, iters: int, seed: int) -> Callable[[], float]:
+    from repro.skeletons import skil_fn
+
+    ctx = _micro_ctx(p)
+    data = _seed_data((n, m), seed)
+    init = skil_fn(
+        ops=1, vectorized=lambda grids, env: data[grids[0], grids[1]]
+    )(lambda ix: data[ix])
+
+    def run() -> float:
+        for _ in range(iters):
+            arr = ctx.array_create(2, (n, m), (0, 0), (-1, -1), init)
+            ctx.array_destroy(arr)
+        return ctx.machine.time
+
+    return run
+
+
+def _micro_copy(p: int, n: int, m: int, iters: int, seed: int) -> Callable[[], float]:
+    from repro.arrays.darray import DistArray
+
+    ctx = _micro_ctx(p)
+    src = DistArray.from_global(ctx.machine, _seed_data((n, m), seed))
+    dst = DistArray.from_global(ctx.machine, np.zeros((n, m)))
+
+    def run() -> float:
+        for _ in range(iters):
+            ctx.array_copy(src, dst)
+        return ctx.machine.time
+
+    return run
+
+
+MICROBENCHES: dict[str, Callable[[int, int, int, int, int], Callable[[], float]]] = {
+    "map": _micro_map,
+    "zip": _micro_zip,
+    "fold": _micro_fold,
+    "create": _micro_create,
+    "copy": _micro_copy,
+}
+
+
+# ---------------------------------------------------------------------------
+# end-to-end drivers
+# ---------------------------------------------------------------------------
+def _e2e_shpaths(p: int, n: int, seed: int) -> float:
+    from repro.eval.harness import run_shpaths
+
+    return run_shpaths("skil", p, n, seed=seed).seconds
+
+
+def _e2e_gauss(p: int, n: int, seed: int) -> float:
+    from repro.eval.harness import run_gauss
+
+    return run_gauss("skil", p, n - n % p, seed=seed).seconds
+
+
+def _e2e_eval_all(scale: float) -> float:
+    """The whole ``python -m repro.eval all`` driver set; returns the sum
+    of all simulated seconds as the invariance fingerprint."""
+    from repro.eval.experiments import (
+        ablation_equal_c,
+        ablation_full_gauss,
+        ablation_instantiation,
+        ablation_sync_comm,
+        ablation_topology,
+        table1,
+        table2,
+    )
+
+    total = 0.0
+    total += sum(r.skil_seconds + r.dpfl_seconds + r.c_old_seconds
+                 for r in table1(scale=scale))
+    total += sum(c.skil_seconds + c.c_seconds + (c.dpfl_seconds or 0.0)
+                 for c in table2(scale=scale))
+    for ab in (
+        ablation_equal_c(scale=scale),
+        ablation_full_gauss(scale=scale),
+        ablation_instantiation(scale=scale),
+        ablation_topology(scale=scale),
+        ablation_sync_comm(scale=scale),
+    ):
+        total += ab.measured_ratio
+    return total
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+def _run_pair(
+    make_run: Callable[[], Callable[[], float]], repeat: int, available: bool
+) -> dict:
+    """Time a measurement under both execution modes.
+
+    *make_run* is called once per mode **after** the fusion default is
+    set; it performs any untimed setup and returns the closure that is
+    actually timed (micros separate the two, e2e drivers time
+    everything).  Checks sim-time identity between the modes.
+    """
+    _set_fusion(False)
+    unfused_s, sim_unfused = _time_best(make_run(), repeat)
+    _set_fusion(True)
+    fused_s, sim_fused = _time_best(make_run(), repeat)
+    entry = {
+        "fused_s": round(fused_s, 6),
+        "unfused_s": round(unfused_s, 6),
+        "speedup": round(unfused_s / fused_s, 3) if fused_s > 0 else None,
+        "sim_seconds": sim_fused,
+        "sim_identical": sim_fused == sim_unfused,
+    }
+    if not available:
+        entry["sim_identical"] = True  # single path, trivially identical
+    return entry
+
+
+def run_bench(
+    quick: bool = False,
+    repeat: int | None = None,
+    seed: int = 0,
+    e2e: bool = True,
+    eval_all_scale: float | None = None,
+) -> dict:
+    """Run the benchmark suite; returns the BENCH_perf.json document."""
+    available = _fusion_available()
+    if available:
+        from repro.skeletons.fuse import fusion_default
+
+        prior_default = fusion_default()
+    if repeat is None:
+        # best-of needs headroom: the micros run low-millisecond kernels
+        # where scheduler noise easily doubles a single measurement
+        repeat = 3 if quick else 7
+    n, m = (128, 64) if quick else (512, 192)
+    iters = 3 if quick else 5
+
+    report: dict = {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "fusion_available": available,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repeat": repeat,
+        "microbench": [],
+        "end_to_end": [],
+    }
+
+    for name, fn in MICROBENCHES.items():
+        for p in MICRO_PS:
+            entry = _run_pair(
+                lambda fn=fn, p=p: fn(p, n, m, iters, seed), repeat, available
+            )
+            entry.update({"name": name, "p": p, "n": n, "m": m, "iters": iters})
+            report["microbench"].append(entry)
+            print(
+                f"micro {name:7s} p={p:<3d} fused {entry['fused_s']:.4f}s  "
+                f"per-rank {entry['unfused_s']:.4f}s  "
+                f"speedup {entry['speedup']}x  "
+                f"sim-identical={entry['sim_identical']}"
+            )
+
+    if e2e:
+        shp_n, gauss_n = (32, 32) if quick else (128, 128)
+        for name, fn in (
+            ("table1_shpaths", lambda: _e2e_shpaths(16, shp_n, seed)),
+            ("table2_gauss", lambda: _e2e_gauss(16, gauss_n, seed)),
+        ):
+            entry = _run_pair(lambda fn=fn: fn, max(1, repeat - 1), available)
+            entry.update({"name": name, "p": 16, "n": shp_n if "shpaths" in name else gauss_n})
+            report["end_to_end"].append(entry)
+            print(
+                f"e2e   {name:15s} fused {entry['fused_s']:.3f}s  "
+                f"per-rank {entry['unfused_s']:.3f}s  "
+                f"speedup {entry['speedup']}x  "
+                f"sim-identical={entry['sim_identical']}"
+            )
+        if eval_all_scale is not None:
+            entry = _run_pair(
+                lambda: lambda: _e2e_eval_all(eval_all_scale), 1, available
+            )
+            entry.update({"name": "eval_all", "scale": eval_all_scale})
+            report["end_to_end"].append(entry)
+            print(
+                f"e2e   eval_all scale={eval_all_scale} "
+                f"fused {entry['fused_s']:.2f}s  "
+                f"per-rank {entry['unfused_s']:.2f}s  "
+                f"speedup {entry['speedup']}x  "
+                f"sim-identical={entry['sim_identical']}"
+            )
+
+    if available:
+        _set_fusion(prior_default)
+    return report
+
+
+def validate_schema(doc: dict) -> list[str]:
+    """Structural validation of a BENCH_perf.json document."""
+    problems = []
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    for section in ("microbench", "end_to_end"):
+        entries = doc.get(section)
+        if not isinstance(entries, list):
+            problems.append(f"{section} is not a list")
+            continue
+        for i, e in enumerate(entries):
+            for key in ("name", "fused_s", "unfused_s", "speedup", "sim_identical"):
+                if key not in e:
+                    problems.append(f"{section}[{i}] missing {key!r}")
+    if not doc.get("microbench"):
+        problems.append("no microbenchmark entries")
+    return problems
+
+
+def check_regressions(current: dict, committed: dict) -> list[str]:
+    """Compare the fused map/fold microbenchmark speedups against a
+    committed baseline; returns failure messages (empty = OK)."""
+    failures = []
+    committed_by_key = {
+        (e["name"], e["p"]): e for e in committed.get("microbench", [])
+    }
+    for e in current.get("microbench", []):
+        if e["name"] not in GATED_MICROS:
+            continue
+        ref = committed_by_key.get((e["name"], e["p"]))
+        if ref is None or not ref.get("speedup") or not e.get("speedup"):
+            continue
+        floor = REGRESSION_FLOOR * float(ref["speedup"])
+        if float(e["speedup"]) < floor:
+            failures.append(
+                f"micro {e['name']} p={e['p']}: fused speedup "
+                f"{e['speedup']}x regressed below {floor:.2f}x "
+                f"(committed baseline {ref['speedup']}x, tolerance 25%)"
+            )
+    for e in current.get("microbench", []) + current.get("end_to_end", []):
+        if not e.get("sim_identical", True):
+            failures.append(
+                f"{e['name']}: simulated seconds differ between fused and "
+                "per-rank execution"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.eval bench",
+        description="Wall-clock benchmarks of the skeleton hot paths "
+        "(fused vs per-rank execution).",
+    )
+    ap.add_argument("--quick", action="store_true",
+                    help="small sizes / few repeats (CI smoke)")
+    ap.add_argument("--repeat", type=int, default=None,
+                    help="timing repeats per measurement (best-of)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default="BENCH_perf.json",
+                    help="output JSON path (default: BENCH_perf.json)")
+    ap.add_argument("--no-e2e", action="store_true",
+                    help="microbenchmarks only")
+    ap.add_argument("--eval-all-scale", type=float, default=None,
+                    metavar="S",
+                    help="also time the full eval driver set at scale S "
+                    "(slow; used for the committed perf record)")
+    ap.add_argument("--check-against", metavar="FILE", default=None,
+                    help="fail if fused map/fold speedups regressed >25%% "
+                    "against this committed BENCH_perf.json")
+    args = ap.parse_args(argv)
+
+    report = run_bench(
+        quick=args.quick,
+        repeat=args.repeat,
+        seed=args.seed,
+        e2e=not args.no_e2e,
+        eval_all_scale=args.eval_all_scale,
+    )
+    problems = validate_schema(report)
+    if problems:
+        for pb in problems:
+            print(f"SCHEMA PROBLEM: {pb}", file=sys.stderr)
+        return 1
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    for e in report["microbench"] + report["end_to_end"]:
+        if not e.get("sim_identical", True):
+            failures.append(
+                f"{e['name']}: simulated seconds differ between paths"
+            )
+    if args.check_against is not None:
+        with open(args.check_against) as fh:
+            committed = json.load(fh)
+        problems = validate_schema(committed)
+        for pb in problems:
+            failures.append(f"committed baseline schema: {pb}")
+        if not problems:
+            failures.extend(check_regressions(report, committed))
+    for f in failures:
+        print(f"BENCH FAILURE: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,6 +85,10 @@ class _Vectorizer:
         self.scalar_params = {p.name for p in lead} - self.array_params
         self.uniform_locals: dict[str, str] = {}
         self.prologue: list[str] = []
+        # does the emitted code read __env (procId, part_bounds, gather)?
+        # env-free kernels may run fused over the whole pooled array —
+        # their result per element cannot depend on the executing rank
+        self.uses_env = False
 
     # ------------------------------------------------------------------ emit
     def emit(self) -> str:
@@ -99,6 +103,7 @@ class _Vectorizer:
         for line in self.prologue:
             out.write(f"    {line}\n")
         out.write(f"    return {body_expr}\n")
+        out.write(f"_vec_{self.inst.name}.env_free = {not self.uses_env}\n")
         return out.getvalue()
 
     # ------------------------------------------------------------------ stmts
@@ -159,6 +164,7 @@ class _Vectorizer:
             if e.name in self.array_params:
                 raise VectorizeFailure("array used outside get_elem/bounds")
             if e.name == "procId":
+                self.uses_env = True
                 return "__env.rank", True
             if e.name in ("INT_MAX", "UINT_MAX", "FLT_MAX"):
                 return f"_rt.{e.name}", True
@@ -238,12 +244,14 @@ class _Vectorizer:
                 raise VectorizeFailure("get_elem index outside the subset")
             i0, u0 = self._expr(idx.items[0])
             i1, u1 = self._expr(idx.items[1])
+            self.uses_env = True
             code = f"_rt.vec_gather({arr.name}, {i0}, {i1}, __env)"
             return code, u0 and u1
         if name == "array_part_bounds":
             arr = e.args[0]
             if not (isinstance(arr, A.Ident) and arr.name in self.array_params):
                 raise VectorizeFailure("part_bounds on a non-parameter array")
+            self.uses_env = True
             return f"{arr.name}.part_bounds(__env.rank)", True
         if name == "abs":
             c, u = self._expr(e.args[0])

@@ -141,6 +141,34 @@ class Engine:
         self._any_waiters: dict[tuple[int, str], deque[tuple[int, float]]] = (
             defaultdict(deque)
         )
+        # (dst, tag) -> senders with a non-empty queue; keeps wildcard
+        # receives O(matching senders) instead of O(every (dst, src, tag)
+        # channel ever touched)
+        self._mail_index: dict[tuple[int, str], set[int]] = defaultdict(set)
+        self._send_index: dict[tuple[int, str], set[int]] = defaultdict(set)
+
+    # ---------------------------------------------------------- mailbox upkeep
+    def _put_mail(self, key: tuple[int, int, str], msg: _AsyncMsg) -> None:
+        self._mail[key].append(msg)
+        self._mail_index[(key[0], key[2])].add(key[1])
+
+    def _pop_mail(self, key: tuple[int, int, str]) -> _AsyncMsg:
+        q = self._mail[key]
+        msg = q.popleft()
+        if not q:
+            self._mail_index[(key[0], key[2])].discard(key[1])
+        return msg
+
+    def _put_pending_send(self, key: tuple[int, int, str], snd: _PendingSend) -> None:
+        self._pending_sends[key].append(snd)
+        self._send_index[(key[0], key[2])].add(key[1])
+
+    def _pop_pending_send(self, key: tuple[int, int, str]) -> _PendingSend:
+        q = self._pending_sends[key]
+        snd = q.popleft()
+        if not q:
+            self._send_index[(key[0], key[2])].discard(key[1])
+        return snd
 
     # ------------------------------------------------------------------ setup
     def spawn(self, rank: int, gen: Generator) -> None:
@@ -231,7 +259,7 @@ class Engine:
             self._mark(dst_rank, "idle", post_time, resume, req.tag)
             self._push(resume, dst_rank, req.payload)
         else:
-            self._mail[key].append(_AsyncMsg(arrival, req.payload))
+            self._put_mail(key, _AsyncMsg(arrival, req.payload))
         self._push(depart, proc.rank, None)
 
     def _send(self, proc: _Proc, req: Send) -> None:
@@ -267,8 +295,8 @@ class Engine:
             self._push(finish, proc.rank, None)
             self._push(finish, dst_rank, req.payload)
         else:
-            self._pending_sends[key].append(
-                _PendingSend(proc.rank, proc.clock, req.payload, req.nbytes)
+            self._put_pending_send(
+                key, _PendingSend(proc.rank, proc.clock, req.payload, req.nbytes)
             )
             proc.blocked = True
 
@@ -277,17 +305,15 @@ class Engine:
             self._recv_any(proc, req)
             return
         key = (proc.rank, req.src, req.tag)
-        mail = self._mail[key]
-        if mail:
-            msg = mail.popleft()
+        if self._mail[key]:
+            msg = self._pop_mail(key)
             resume = max(proc.clock, msg.arrival)
             self.stats.idle_seconds += max(0.0, msg.arrival - proc.clock)
             self._mark(proc.rank, "idle", proc.clock, resume, req.tag)
             self._push(resume, proc.rank, msg.payload)
             return
-        pend = self._pending_sends[key]
-        if pend:
-            snd = pend.popleft()
+        if self._pending_sends[key]:
+            snd = self._pop_pending_send(key)
             wire, hops = self._wire(req.src, proc.rank, snd.nbytes)
             start = max(snd.ready + self.cost.t_setup, proc.clock)
             finish = start + wire
@@ -305,35 +331,36 @@ class Engine:
 
     def _recv_any(self, proc: _Proc, req: Recv) -> None:
         """Wildcard receive: earliest-arriving matching message wins
-        (ties break toward the lowest sender rank, deterministically)."""
-        best_key = None
+        (ties break toward the lowest sender rank, deterministically).
+
+        The ``(dst, tag)`` indexes restrict the search to senders that
+        actually have something queued for this receiver — not every
+        channel the run ever touched."""
+        anykey = (proc.rank, req.tag)
+        best_src = None
         best_arrival = None
-        for (dst, src, tag), mail in self._mail.items():
-            if dst != proc.rank or tag != req.tag or not mail:
-                continue
-            arrival = mail[0].arrival
-            if best_arrival is None or (arrival, src) < (best_arrival, best_key[1]):
-                best_key = (dst, src, tag)
+        for src in self._mail_index.get(anykey, ()):
+            arrival = self._mail[(proc.rank, src, req.tag)][0].arrival
+            if best_arrival is None or (arrival, src) < (best_arrival, best_src):
+                best_src = src
                 best_arrival = arrival
-        if best_key is not None:
-            msg = self._mail[best_key].popleft()
+        if best_src is not None:
+            msg = self._pop_mail((proc.rank, best_src, req.tag))
             resume = max(proc.clock, msg.arrival)
             self.stats.idle_seconds += max(0.0, msg.arrival - proc.clock)
             self._mark(proc.rank, "idle", proc.clock, resume, req.tag)
             self._push(resume, proc.rank, msg.payload)
             return
         # pending synchronous senders: earliest ready, lowest rank
-        best_skey = None
+        best_ssrc = None
         best_ready = None
-        for (dst, src, tag), pend in self._pending_sends.items():
-            if dst != proc.rank or tag != req.tag or not pend:
-                continue
-            ready = pend[0].ready
-            if best_ready is None or (ready, src) < (best_ready, best_skey[1]):
-                best_skey = (dst, src, tag)
+        for src in self._send_index.get(anykey, ()):
+            ready = self._pending_sends[(proc.rank, src, req.tag)][0].ready
+            if best_ready is None or (ready, src) < (best_ready, best_ssrc):
+                best_ssrc = src
                 best_ready = ready
-        if best_skey is not None:
-            snd = self._pending_sends[best_skey].popleft()
+        if best_ssrc is not None:
+            snd = self._pop_pending_send((proc.rank, best_ssrc, req.tag))
             wire, hops = self._wire(snd.src, proc.rank, snd.nbytes)
             start = max(snd.ready + self.cost.t_setup, proc.clock)
             finish = start + wire

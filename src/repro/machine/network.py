@@ -155,20 +155,24 @@ class Network:
             return float(self.clocks[src])
         hops = topo.edge_hops(src, dst)
         wire = self.cost.message_time(nbytes, hops)
+        # plain-float arithmetic on purpose: this is the hottest loop of
+        # the collective simulation, and numpy scalar indexing dominates
+        # it otherwise.  Python floats are the same IEEE doubles, so the
+        # clock values are bit-identical to the array-scalar version.
         old_src = float(self.clocks[src])
         old_dst = float(self.clocks[dst])
-        depart = self.clocks[src] + self.cost.t_setup
+        depart = old_src + self.cost.t_setup
         arrival = depart + wire
         if sync:
-            start = max(depart, float(self.clocks[dst]))
+            start = max(depart, old_dst)
             arrival = start + wire
-            self.stats.idle_seconds += max(0.0, arrival - self.clocks[dst] - wire)
+            self.stats.idle_seconds += max(0.0, arrival - old_dst - wire)
             self.clocks[src] = arrival
             self.clocks[dst] = arrival
         else:
             self.clocks[src] = depart
-            self.stats.idle_seconds += max(0.0, arrival - self.clocks[dst])
-            self.clocks[dst] = max(float(self.clocks[dst]), arrival)
+            self.stats.idle_seconds += max(0.0, arrival - old_dst)
+            self.clocks[dst] = max(old_dst, arrival)
         self.stats.record_message(arrival, src, dst, nbytes, hops, tag)
         self.stats.comm_seconds += wire + self.cost.t_setup
         if self.metrics is not None:

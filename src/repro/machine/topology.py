@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from repro.errors import TopologyError
@@ -155,6 +156,10 @@ class VirtualTopology:
 
     def __init__(self, mesh: Mesh2D):
         self.mesh = mesh
+        # hop counts are pure in (src, dst) for a given embedding, and
+        # topology objects are cached on the Machine — memoize them so the
+        # per-message hot path stops re-deriving coordinates
+        self._edge_hops_cache: dict[tuple[int, int], int] = {}
 
     @property
     def p(self) -> int:
@@ -169,7 +174,12 @@ class VirtualTopology:
 
     def edge_hops(self, src: int, dst: int) -> int:
         """Hardware hops for a message on the logical edge *src*→*dst*."""
-        return self.mesh.hops(self.place(src), self.place(dst))
+        key = (src, dst)
+        hops = self._edge_hops_cache.get(key)
+        if hops is None:
+            hops = self.mesh.hops(self.place(src), self.place(dst))
+            self._edge_hops_cache[key] = hops
+        return hops
 
     def edges(self) -> Iterator[tuple[int, int]]:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -312,28 +322,43 @@ class BinomialTree(VirtualTopology):
 
     def broadcast_rounds(self) -> list[list[tuple[int, int]]]:
         """List of rounds; each round is a list of (src, dst) logical edges."""
-        rounds: list[list[tuple[int, int]]] = []
-        informed = 1
-        k = 0
-        while informed < self.p:
-            step = 1 << k
-            edges = []
-            for rel in range(min(step, self.p)):
-                partner = rel + step
-                if partner < self.p:
-                    edges.append((self.absolute(rel), self.absolute(partner)))
-            rounds.append(edges)
-            informed += len(edges)
-            k += 1
-        return rounds
+        return [list(rnd) for rnd in _binomial_rounds(self.p, self.root)]
 
     def reduce_rounds(self) -> list[list[tuple[int, int]]]:
         """Reduction is the reversed broadcast with edges flipped."""
-        return [[(d, s) for (s, d) in rnd] for rnd in reversed(self.broadcast_rounds())]
+        return [
+            [(d, s) for (s, d) in rnd]
+            for rnd in reversed(_binomial_rounds(self.p, self.root))
+        ]
 
     def edges(self) -> Iterator[tuple[int, int]]:
         for rnd in self.broadcast_rounds():
             yield from rnd
+
+
+@lru_cache(maxsize=None)
+def _binomial_rounds(p: int, root: int) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Binomial broadcast schedule for *p* ranks rooted at *root*.
+
+    The schedule depends only on ``(p, root)`` — it is recomputed on every
+    collective otherwise (a fresh :class:`BinomialTree` per call), so the
+    edge lists are memoized here; :meth:`BinomialTree.broadcast_rounds`
+    hands out fresh lists so callers may mutate them.
+    """
+    rounds: list[tuple[tuple[int, int], ...]] = []
+    informed = 1
+    k = 0
+    while informed < p:
+        step = 1 << k
+        edges = tuple(
+            ((rel + root) % p, (rel + step + root) % p)
+            for rel in range(min(step, p))
+            if rel + step < p
+        )
+        rounds.append(edges)
+        informed += len(edges)
+        k += 1
+    return tuple(rounds)
 
 
 def _folded_order(n: int) -> list[int]:

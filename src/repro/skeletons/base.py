@@ -32,6 +32,7 @@ from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
 from repro.machine.costmodel import SKIL, LanguageProfile
 from repro.machine.machine import DISTR_DEFAULT, Machine
+from repro.skeletons.fuse import fusion_default
 
 __all__ = ["SkilContext", "MapEnv", "ops_of", "current_context", "skeleton_span"]
 
@@ -110,10 +111,15 @@ class SkilContext:
         machine: Machine,
         profile: LanguageProfile = SKIL,
         default_distr: str = DISTR_DEFAULT,
+        fused: bool | None = None,
     ):
         self.machine = machine
         self.profile = profile
         self.default_distr = default_distr
+        #: whether skeletons may take the fused whole-array fast path
+        #: (:mod:`repro.skeletons.fuse`); simulated seconds are identical
+        #: either way, only wall-clock changes.  ``None`` = process default.
+        self.fused = fusion_default() if fused is None else bool(fused)
         #: rank whose partition is currently being processed by a
         #: skeleton; user argument functions may read it (``procId``).
         self.current_rank: int | None = None

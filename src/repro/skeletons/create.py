@@ -29,6 +29,7 @@ from repro.arrays.darray import DistArray, default_grid
 from repro.arrays.distribution import BlockDistribution
 from repro.errors import SkeletonError
 from repro.skeletons.base import MapEnv, ops_of, skeleton_span
+from repro.skeletons.map import apply_fused
 
 __all__ = ["array_create", "array_destroy", "array_copy"]
 
@@ -57,8 +58,14 @@ def array_create(
     dist = BlockDistribution.from_pardata_args(dim, size, blocksize, lowerbd, grid)
     arr = DistArray(ctx.machine, dist, dtype, distr)
 
-    per_rank = np.zeros(ctx.p)
     t_elem = ctx.elem_time(ops_of(init_elem))
+    out = apply_fused(ctx, init_elem, (), arr.shape, dist)
+    if out is not None:
+        arr.pool[...] = np.asarray(out, dtype=arr.dtype)
+        ctx.net.compute(dist.part_sizes() * t_elem)
+        return arr
+
+    per_rank = np.zeros(ctx.p)
     vec = getattr(init_elem, "vectorized", None)
     for r in range(ctx.p):
         ctx.current_rank = r
@@ -98,6 +105,14 @@ def array_copy(ctx, from_arr: DistArray, to_arr: DistArray) -> None:
         raise SkeletonError("array_copy: source and target are the same array")
     per_rank = np.zeros(ctx.p)
     t_mem = ctx.machine.cost.t_mem
+    src_itemsize = from_arr.dtype.itemsize
+    if ctx.fused and from_arr.pool is not None and to_arr.pool is not None:
+        # one memcpy over the pool; src.nbytes == b.size * itemsize exactly
+        to_arr.pool[...] = from_arr.pool.astype(to_arr.dtype, copy=False)
+        ctx.net.compute(
+            (from_arr.dist.part_sizes() * src_itemsize) * t_mem
+        )
+        return
     for r in range(ctx.p):
         src = from_arr.local(r)
         to_arr.local(r)[...] = src.astype(to_arr.dtype, copy=False)

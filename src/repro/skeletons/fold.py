@@ -33,6 +33,7 @@ import numpy as np
 from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
 from repro.skeletons.base import MapEnv, ops_of, skeleton_span
+from repro.skeletons.map import apply_fused
 
 __all__ = ["array_fold", "array_scan"]
 
@@ -81,13 +82,29 @@ def array_fold(ctx, conv_f: Callable, fold_f: Callable, a: DistArray):
     per_rank = np.zeros(ctx.p)
     partials = []
     with ctx.phase("fold:local"):
-        for r in range(ctx.p):
-            ctx.current_rank = r
-            vals = _converted_partition(ctx, conv_f, a, r)
-            partials.append(_local_fold(fold_f, vals))
-            n = vals.size
-            per_rank[r] = n * t_conv + max(0, n - 1) * t_fold
-        ctx.current_rank = None
+        # fused fast path: run the conversion kernel once over the pool,
+        # then fold each partition's slice of the converted whole —
+        # ravel order inside a block matches the per-rank path, so the
+        # local fold sees the elements in the identical sequence
+        conv_global = apply_fused(ctx, conv_f, (a.pool,), a.shape, a.dist)
+        if conv_global is not None:
+            dist = a.dist
+            for r in range(ctx.p):
+                partials.append(
+                    _local_fold(fold_f, conv_global[dist.part_slices(r)])
+                )
+            # the per-rank formula below, vectorized — elementwise IEEE
+            # ops, so the charged vector is bit-identical
+            sizes = dist.part_sizes()
+            per_rank = sizes * t_conv + np.maximum(0, sizes - 1) * t_fold
+        else:
+            for r in range(ctx.p):
+                ctx.current_rank = r
+                vals = _converted_partition(ctx, conv_f, a, r)
+                partials.append(_local_fold(fold_f, vals))
+                n = vals.size
+                per_rank[r] = n * t_conv + max(0, n - 1) * t_fold
+            ctx.current_rank = None
         ctx.net.compute(per_rank)
 
     # combine along the binomial tree and broadcast the result back

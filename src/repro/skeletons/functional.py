@@ -43,6 +43,7 @@ def skil_fn(
     ops: float = 1.0,
     vectorized: Callable | None = None,
     commutative_associative: bool = False,
+    fused: Callable | None = None,
 ):
     """Decorator annotating a skeleton argument function.
 
@@ -60,12 +61,21 @@ def skil_fn(
         Promise required of ``array_fold`` folding functions ("the user
         should provide an associative and commutative folding function,
         otherwise the result is non-deterministic").
+    fused:
+        Optional whole-array kernel ``kernel(pool(s), global_grids,
+        fenv)`` evaluated once over the pooled buffer instead of per
+        rank (:mod:`repro.skeletons.fuse`).  Must compute bit-identical
+        values to the per-rank path; raise
+        :class:`~repro.skeletons.fuse.FusionFallback` when its layout
+        assumptions do not hold for the given arrays.
     """
 
     def deco(f):
         f.ops = float(ops)
         if vectorized is not None:
             f.vectorized = vectorized
+        if fused is not None:
+            f.fused = fused
         f.commutative_associative = commutative_associative
         return f
 
@@ -128,6 +138,12 @@ class _Papply:
         base_vec = getattr(f, "vectorized", None)
         if base_vec is not None:
             self.vectorized = lambda *rest: base_vec(*args, *rest)
+            env_free = getattr(base_vec, "env_free", None)
+            if env_free is not None:
+                self.vectorized.env_free = env_free
+        base_fused = getattr(f, "fused", None)
+        if base_fused is not None:
+            self.fused = lambda *rest: base_fused(*args, *rest)
 
     def __call__(self, *rest):
         return self._f(*self._args, *rest)

@@ -1,0 +1,127 @@
+"""Fused whole-array skeleton execution.
+
+The per-rank execution loop (``for r in range(ctx.p): vec(block_r, ...)``)
+charges the right *simulated* seconds but costs ``p`` Python-level kernel
+dispatches of wall-clock per skeleton call.  For block-distributed arrays
+all partitions are views into one contiguous pool
+(:attr:`repro.arrays.darray.DistArray.pool`), so an elementwise kernel
+can run **once** over the whole buffer with global index grids — the
+fused fast path.  Simulated seconds stay bit-identical because the
+per-rank cost vector is computed from the same partition geometry with
+the same arithmetic as the per-rank loop.
+
+Which kernels may fuse
+----------------------
+
+A vectorized kernel ``vec(block, grids, env)`` is *fusable* when its
+result per element does not depend on which rank evaluates it, i.e. it
+never reads the per-rank :class:`~repro.skeletons.base.MapEnv`.  Three
+sources of that knowledge:
+
+* generated kernels (``lang/codegen.py``) carry ``env_free`` — the
+  vectorizer knows statically whether the Skil source used ``procId``,
+  ``array_part_bounds`` or ``array_get_elem``;
+* hand-written kernels are probed: the fused path calls them with a
+  :class:`FusedEnv` whose rank-specific attributes raise
+  :class:`FusionFallback`, and the outcome is memoized on the kernel;
+* rank-*dependent* kernels can still fuse by providing an explicit
+  whole-array kernel via ``skil_fn(fused=...)`` (signature
+  ``fused(pool, global_grids, fenv)``) — see the Gaussian-elimination
+  kernels in :mod:`repro.apps.gauss`.
+
+Everything else — strided distributions, scalar-only kernels, kernels
+that read the env — falls back to the per-rank loop, whose results the
+fused path reproduces bit-for-bit (enforced by ``tests/check`` and the
+``repro.check`` pillars).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+__all__ = [
+    "FusionFallback",
+    "FusedEnv",
+    "fusion_default",
+    "set_fusion_default",
+    "kernel_fusability",
+    "remember_fusability",
+]
+
+
+class FusionFallback(Exception):
+    """Raised when a kernel cannot run fused; callers fall back to the
+    per-rank loop.  Also raised *by* FusedEnv when a probed kernel turns
+    out to read rank-specific state."""
+
+
+#: process-wide default for ``SkilContext(fused=...)``; the environment
+#: variable lets ``REPRO_FUSED=0 python -m repro.eval ...`` A/B the paths
+_FUSION_DEFAULT = os.environ.get("REPRO_FUSED", "1").lower() not in (
+    "0", "false", "no", "off",
+)
+
+
+def fusion_default() -> bool:
+    return _FUSION_DEFAULT
+
+
+def set_fusion_default(enabled: bool) -> None:
+    """Set the process-wide default consulted by new contexts (the bench
+    harness toggles this between timed runs)."""
+    global _FUSION_DEFAULT
+    _FUSION_DEFAULT = bool(enabled)
+
+
+class FusedEnv:
+    """The environment handed to kernels on the fused path.
+
+    Unlike :class:`~repro.skeletons.base.MapEnv` there is no single rank:
+    the kernel sees the whole array.  Accessing any rank-specific
+    attribute raises :class:`FusionFallback`, which is what makes probing
+    hand-written kernels safe — an env-reading kernel aborts before its
+    result is used, and the caller re-runs it per rank.
+    """
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int):
+        self.p = p
+
+    @property
+    def rank(self):
+        raise FusionFallback("kernel reads env.rank")
+
+    @property
+    def bounds(self):
+        raise FusionFallback("kernel reads env.bounds")
+
+    @property
+    def ctx(self):
+        raise FusionFallback("kernel reads env.ctx")
+
+
+def kernel_fusability(vec: Callable) -> bool | None:
+    """``True``/``False`` when known, ``None`` when the kernel must be
+    probed.  Generated kernels carry ``env_free`` from the vectorizer;
+    probe outcomes are memoized as ``_fused_ok``."""
+    env_free = getattr(vec, "env_free", None)
+    if env_free is not None:
+        return bool(env_free)
+    return getattr(vec, "_fused_ok", None)
+
+
+def remember_fusability(vec: Callable, ok: bool) -> None:
+    """Memoize a probe outcome on the kernel object (best effort — some
+    callables reject attributes, then every call probes again).
+
+    ``False`` only suppresses future *attempts*; ``True`` never forces
+    fusion, because the fused caller still catches FusionFallback at run
+    time — so a kernel whose env use is conditional stays correct either
+    way.
+    """
+    try:
+        vec._fused_ok = bool(ok)
+    except (AttributeError, TypeError):
+        pass

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
+from repro.skeletons import fuse
 from repro.skeletons.base import MapEnv, ops_of, skeleton_span
 
 __all__ = ["array_map", "array_zip"]
@@ -46,15 +47,90 @@ def _apply_block(ctx, f, src_arr: DistArray, rank: int, blocks=None):
     return out
 
 
+def apply_fused(ctx, f, pools: tuple, shape, dist) -> np.ndarray | None:
+    """Evaluate *f* once over the whole pooled buffer(s), or ``None``.
+
+    *pools* are the input pool(s) the kernel consumes (one for map/fold
+    conversion, two for zip; empty for create).  Raises nothing: every
+    reason not to fuse — no kernel, unpooled array, env-reading kernel —
+    yields ``None``, and the caller runs the per-rank loop.
+    """
+    if not ctx.fused or any(p is None for p in pools):
+        return None
+    fused_k = getattr(f, "fused", None)
+    vec = getattr(f, "vectorized", None)
+    grids = dist.global_index_grids()
+    fenv = fuse.FusedEnv(ctx.p)
+    if fused_k is not None:
+        # explicit whole-array kernel; its own guards (e.g. a partner
+        # array that is not pooled) raise FusionFallback
+        try:
+            out = fused_k(*pools, grids, fenv)
+        except fuse.FusionFallback:
+            return None
+        return np.broadcast_to(np.asarray(out), shape)
+    if vec is None:
+        return None
+    ok = fuse.kernel_fusability(vec)
+    if ok is False:
+        return None
+    try:
+        out = vec(*pools, grids, fenv)
+    except fuse.FusionFallback:
+        if ok is None:
+            fuse.remember_fusability(vec, False)
+        return None
+    if ok is None:
+        fuse.remember_fusability(vec, True)
+    return np.broadcast_to(np.asarray(out), shape)
+
+
+def write_pool(to_arr: DistArray, out: np.ndarray) -> None:
+    """Write a fused result into the target pool (with dtype conversion,
+    matching the per-rank write-back)."""
+    pool = to_arr.pool
+    if out is not pool and np.may_share_memory(out, pool):
+        # e.g. an identity kernel returning a view of the target pool;
+        # materialise before the overlapping assignment
+        out = np.array(out, dtype=to_arr.dtype)
+    pool[...] = out
+
+
+def _map_cost_vector(ctx, from_arr: DistArray, to_arr: DistArray, t_elem: float):
+    """The per-rank cost vector of a map-shaped skeleton — shared by the
+    fused and per-rank paths so simulated seconds are bit-identical.
+
+    ``nbytes`` of the converted partition is ``b.size * itemsize`` exactly
+    (the per-rank path reads it off the materialised block).  Vectorized
+    over ranks with the same elementwise IEEE ops as the scalar formula,
+    so the charged vector is bit-identical.
+    """
+    sizes = from_arr.dist.part_sizes()
+    per_rank = sizes * t_elem
+    if ctx.profile.copy_on_update:
+        # functional host: build a fresh array, then (conceptually)
+        # replace the old one — charge allocation+copy traffic
+        per_rank = per_rank + (
+            sizes * to_arr.dtype.itemsize
+        ) * ctx.machine.cost.t_mem
+    return per_rank
+
+
 @skeleton_span("array_map")
 def array_map(ctx, map_f: Callable, from_arr: DistArray, to_arr: DistArray) -> None:
     """Apply *map_f* to every element of *from_arr*, writing *to_arr*."""
     ctx.check_same_shape("array_map", from_arr, to_arr)
-    in_situ = from_arr is to_arr
 
     t_elem = ctx.elem_time(ops_of(map_f))
-    t_mem = ctx.machine.cost.t_mem
+    out = apply_fused(ctx, map_f, (from_arr.pool,), from_arr.shape, from_arr.dist)
+    if out is not None:
+        per_rank = _map_cost_vector(ctx, from_arr, to_arr, t_elem)
+        write_pool(to_arr, out)
+        ctx.net.compute(per_rank)
+        return
+
     per_rank = np.zeros(ctx.p)
+    t_mem = ctx.machine.cost.t_mem
     results = []
     for r in range(ctx.p):
         ctx.current_rank = r
@@ -73,7 +149,6 @@ def array_map(ctx, map_f: Callable, from_arr: DistArray, to_arr: DistArray) -> N
     for r in range(ctx.p):
         to_arr.local(r)[...] = results[r]
     ctx.net.compute(per_rank)
-    del in_situ  # semantics identical either way; kept for readability
 
 
 @skeleton_span("array_zip")
@@ -94,6 +169,13 @@ def array_zip(
     ctx.check_same_shape("array_zip", a, to_arr)
 
     t_elem = ctx.elem_time(ops_of(zip_f))
+    out = apply_fused(ctx, zip_f, (a.pool, b.pool), a.shape, a.dist)
+    if out is not None:
+        per_rank = _map_cost_vector(ctx, a, to_arr, t_elem)
+        write_pool(to_arr, out)
+        ctx.net.compute(per_rank)
+        return
+
     t_mem = ctx.machine.cost.t_mem
     per_rank = np.zeros(ctx.p)
     results = []

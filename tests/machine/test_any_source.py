@@ -4,7 +4,15 @@ import pytest
 
 from repro.errors import DeadlockError
 from repro.machine.costmodel import CostModel
-from repro.machine.engine import ANY_SOURCE, Compute, ISend, Recv, Send, run_spmd
+from repro.machine.engine import (
+    ANY_SOURCE,
+    Compute,
+    Engine,
+    ISend,
+    Recv,
+    Send,
+    run_spmd,
+)
 from repro.machine.topology import DefaultMapping, Mesh2D
 
 
@@ -104,6 +112,51 @@ def test_wildcard_deadlock_detected(cost, topo):
 
     with pytest.raises(DeadlockError):
         run_spmd(cost, topo, prog)
+
+
+def test_wildcard_stress_many_channels(cost):
+    """Hundreds of (src, tag) channels, mixed sync/async sends, staggered
+    clocks: every tagged message is received exactly once through the
+    wildcard, and the engine's (dst, tag) indexes stay consistent with
+    the mailboxes afterwards (the indexes are what keep ``_recv_any``
+    from scanning every channel the run ever touched)."""
+    topo = DefaultMapping(Mesh2D(4, 4))
+    p = topo.p
+    rounds = 8
+    got = []
+
+    def prog(rank, p):
+        if rank == 0:
+            for _ in range((p - 1) * rounds):
+                got.append((yield Recv(ANY_SOURCE, tag="t")))
+        else:
+            for i in range(rounds):
+                yield Compute(float((rank * 7 + i * 13) % 29))
+                # decoy channels that never match the wildcard's tag
+                yield ISend(0, payload=None, nbytes=1, tag=f"decoy{rank}.{i}")
+                if (rank + i) % 2:
+                    yield Send(0, payload=(rank, i), nbytes=8, tag="t")
+                else:
+                    yield ISend(0, payload=(rank, i), nbytes=8, tag="t")
+
+    eng = Engine(cost, topo)
+    for r in range(p):
+        eng.spawn(r, prog(r, p))
+    eng.run()
+
+    expected = [(r, i) for r in range(1, p) for i in range(rounds)]
+    assert sorted(got) == expected
+    # index invariant: exactly the senders with non-empty queues
+    for (dst, tag), srcs in eng._mail_index.items():
+        assert srcs == {
+            s for (d, s, t), q in eng._mail.items() if (d, t) == (dst, tag) and q
+        }
+    for (dst, tag), srcs in eng._send_index.items():
+        assert srcs == {
+            s
+            for (d, s, t), q in eng._pending_sends.items()
+            if (d, t) == (dst, tag) and q
+        }
 
 
 def test_interleaved_specific_and_wildcard(cost, topo):
