@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.check.dagcheck import run_dag, run_dag_raw
 from repro.check.diffcheck import run_diff, run_diff_raw
 from repro.check.fuzz import run_fuzz, run_fuzz_raw
 from repro.check.oracle import run_oracle, run_oracle_raw
@@ -31,7 +32,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument(
         "pillar",
-        choices=["fuzz", "oracle", "diff", "all"],
+        choices=["fuzz", "oracle", "diff", "dag", "all"],
         nargs="?",
         default="all",
         help="which pillar to run (default: all)",
@@ -66,7 +67,11 @@ def main(argv: list[str] | None = None) -> int:
 
         set_fusion_default(args.fused)
 
-    pillars = ["fuzz", "oracle", "diff"] if args.pillar == "all" else [args.pillar]
+    pillars = (
+        ["fuzz", "oracle", "diff", "dag"]
+        if args.pillar == "all"
+        else [args.pillar]
+    )
     results: list[CheckResult] = []
     for pillar in pillars:
         if args.raw_seed:
@@ -74,12 +79,16 @@ def main(argv: list[str] | None = None) -> int:
                 "fuzz": run_fuzz_raw,
                 "oracle": run_oracle_raw,
                 "diff": run_diff_raw,
+                "dag": run_dag_raw,
             }[pillar]
             res = runner(args.seed, args.budget)
         else:
-            runner = {"fuzz": run_fuzz, "oracle": run_oracle, "diff": run_diff}[
-                pillar
-            ]
+            runner = {
+                "fuzz": run_fuzz,
+                "oracle": run_oracle,
+                "diff": run_diff,
+                "dag": run_dag,
+            }[pillar]
             res = runner(
                 args.seed,
                 args.budget,

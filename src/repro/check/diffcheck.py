@@ -40,6 +40,7 @@ from typing import Generator
 import numpy as np
 
 from repro.check.report import CheckResult, Failure
+from repro.obs.metrics import isolated_metrics
 from repro.machine.engine import Compute, Engine, ISend, Recv, Send
 from repro.machine.machine import (
     DISTR_DEFAULT,
@@ -380,7 +381,8 @@ def run_diff(
         obs = i % 4 == 3
         res.trials += 1
         try:
-            msg, cov = (trial_obs if obs else trial_pattern)(rng)
+            with isolated_metrics():
+                msg, cov = (trial_obs if obs else trial_pattern)(rng)
         except Exception:
             msg, cov = traceback.format_exc(limit=8), {}
         for k, v in cov.items():
@@ -413,7 +415,8 @@ def run_diff_raw(seed: int, budget: int = 1) -> CheckResult:
         rng = random.Random(trial_seed)
         res.trials += 1
         try:
-            msg, cov = (trial_obs if obs else trial_pattern)(rng)
+            with isolated_metrics():
+                msg, cov = (trial_obs if obs else trial_pattern)(rng)
         except Exception:
             msg, cov = traceback.format_exc(limit=8), {}
         for key, v in cov.items():

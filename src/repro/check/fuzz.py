@@ -452,10 +452,15 @@ def run_trial(seed: int) -> tuple[str, str] | None:
 
 
 def _run_spec(spec: ProgramSpec) -> tuple[str, str] | None:
+    from repro.obs.metrics import isolated_metrics
+
     src = render(spec)
     ps = (1, 2) if spec.seed % 2 == 0 else (1, 3 if spec.dim == 1 else 4)
     try:
-        msg = _check_source(src, spec.elem, ps)
+        # the compiler front end reports into the process-global
+        # registry; isolate it so trials don't leak into each other
+        with isolated_metrics():
+            msg = _check_source(src, spec.elem, ps)
     except Exception:
         return ("exception", traceback.format_exc(limit=8))
     if msg is not None:

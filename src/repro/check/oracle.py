@@ -25,6 +25,7 @@ import numpy as np
 from repro.arrays.darray import DistArray
 from repro.arrays.distribution import CyclicDistribution
 from repro.check.report import CheckResult, Failure
+from repro.obs.metrics import isolated_metrics
 from repro.errors import SkeletonError
 from repro.machine.machine import (
     DISTR_DEFAULT,
@@ -456,7 +457,8 @@ def run_oracle(
         res.trials += 1
         res.coverage[name] = res.coverage.get(name, 0) + 1
         try:
-            msg = ORACLE_TRIALS[name](rng)
+            with isolated_metrics():
+                msg = ORACLE_TRIALS[name](rng)
         except Exception:
             msg = traceback.format_exc(limit=8)
         if msg is not None:
@@ -493,7 +495,8 @@ def run_oracle_raw(seed: int, budget: int = 1) -> CheckResult:
         res.trials += 1
         res.coverage[name] = res.coverage.get(name, 0) + 1
         try:
-            msg = ORACLE_TRIALS[name](rng)
+            with isolated_metrics():
+                msg = ORACLE_TRIALS[name](rng)
         except Exception:
             msg = traceback.format_exc(limit=8)
         if msg is not None:

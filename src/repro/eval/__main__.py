@@ -8,7 +8,9 @@ Usage::
    python -m repro.eval ablations [--scale 0.25]
    python -m repro.eval all [--scale 0.25]
    python -m repro.eval trace [--app gauss-full] [--p 9] [--n 48]
-                              [--json trace.json]
+                              [--json trace.json] [--metrics-out m.prom]
+   python -m repro.eval analyze [--app gauss] [--p 16] [--n 48]
+                              [--json-out analyze.json] [--no-whatif]
    python -m repro.eval bench [--quick] [--out BENCH_perf.json]
                               [--check-against BENCH_perf.json]
 
@@ -51,8 +53,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "what",
-        choices=["table1", "table2", "figure1", "ablations", "all", "trace"],
-        help="which artefact to regenerate (or 'trace': profile one run)",
+        choices=["table1", "table2", "figure1", "ablations", "all", "trace",
+                 "analyze"],
+        help="which artefact to regenerate ('trace': profile one run; "
+        "'analyze': critical-path/straggler analysis of one run)",
     )
     parser.add_argument(
         "--scale",
@@ -74,13 +78,13 @@ def main(argv: list[str] | None = None) -> int:
         "--app",
         choices=["shpaths", "gauss", "gauss-full"],
         default="gauss-full",
-        help="trace: which application to run",
+        help="trace/analyze: which application to run",
     )
     parser.add_argument(
-        "--p", type=int, default=9, help="trace: number of processors"
+        "--p", type=int, default=9, help="trace/analyze: number of processors"
     )
     parser.add_argument(
-        "--n", type=int, default=48, help="trace: problem size"
+        "--n", type=int, default=48, help="trace/analyze: problem size"
     )
     parser.add_argument(
         "--json",
@@ -89,11 +93,32 @@ def main(argv: list[str] | None = None) -> int:
         help="trace: write a Chrome trace-event JSON (open in Perfetto)",
     )
     parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="trace: write the metrics registry in Prometheus text format",
+    )
+    parser.add_argument(
         "--level",
         type=int,
         choices=[1, 2],
         default=2,
         help="trace: 1 = spans + metrics, 2 = also per-rank timeline",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="FILE",
+        default=None,
+        help="analyze: write the analysis snapshot (repro-analyze/1 JSON)",
+    )
+    parser.add_argument(
+        "--no-whatif",
+        action="store_true",
+        help="analyze: skip the perturbed-cost what-if replays",
+    )
+    parser.add_argument(
+        "--top", type=int, default=8,
+        help="analyze: rows in the blocking-edge/imbalance tables",
     )
     args = parser.parse_args(argv)
     if not (0 < args.scale <= 1.0):
@@ -105,7 +130,18 @@ def main(argv: list[str] | None = None) -> int:
         print(
             run_trace_command(
                 args.app, p=args.p, n=args.n, out=args.json,
-                trace_level=args.level,
+                trace_level=args.level, metrics_out=args.metrics_out,
+            )
+        )
+        return 0
+
+    if args.what == "analyze":
+        from repro.eval.tracecmd import run_analyze_command
+
+        print(
+            run_analyze_command(
+                args.app, p=args.p, n=args.n, top=args.top,
+                whatif=not args.no_whatif, json_out=args.json_out,
             )
         )
         return 0

@@ -24,13 +24,13 @@ from repro.eval.trace_report import (
     format_skeleton_breakdowns,
     skeleton_breakdowns,
 )
-from repro.machine.costmodel import SKIL
+from repro.machine.costmodel import SKIL, CostModel
 from repro.machine.machine import Machine
 from repro.obs import flame_rollup, write_chrome_trace
 from repro.skeletons import SkilContext
 
 __all__ = ["TRACE_APPS", "TraceRun", "run_traced", "trace_report_text",
-           "run_trace_command"]
+           "run_trace_command", "run_analyze_command"]
 
 #: applications the trace subcommand can run
 TRACE_APPS = ("shpaths", "gauss", "gauss-full")
@@ -47,16 +47,28 @@ class TraceRun:
 
 
 def run_traced(
-    app: str, p: int = 9, n: int = 48, trace_level: int = 2, seed: int = 0
+    app: str,
+    p: int = 9,
+    n: int = 48,
+    trace_level: int = 2,
+    seed: int = 0,
+    cost: CostModel | None = None,
+    balance_compute: bool = False,
 ) -> TraceRun:
     """Run *app* on a fresh traced machine; returns the run handle.
 
     *n* is rounded up to whatever divisibility the application needs
     (torus side for shpaths, p for gauss), mirroring the paper's rule.
+    *cost* and *balance_compute* exist for the what-if replays of
+    ``repro.obs.analysis``: the same application under a perturbed cost
+    model and/or with per-step compute averaged across ranks.
     """
     if app not in TRACE_APPS:
         raise SkilError(f"unknown trace app {app!r}; choose from {TRACE_APPS}")
-    machine = Machine(p, trace_level=trace_level)
+    machine = Machine(p, trace_level=trace_level, **(
+        {"cost": cost} if cost is not None else {}
+    ))
+    machine.network.balance_compute = balance_compute
     ctx = SkilContext(machine, SKIL)
     if app == "shpaths":
         n_eff = round_up_to_grid(n, machine.mesh.rows)
@@ -81,7 +93,7 @@ def trace_report_text(run: TraceRun) -> str:
         format_skeleton_breakdowns(skeleton_breakdowns(m.tracer)),
         "",
         "flamegraph rollup:",
-        flame_rollup(m.tracer),
+        flame_rollup(m.tracer, timeline=m.timeline),
     ]
     if m.metrics is not None:
         parts += ["", "metrics:", m.metrics.format()]
@@ -95,6 +107,7 @@ def run_trace_command(
     out: str | None = None,
     trace_level: int = 2,
     seed: int = 0,
+    metrics_out: str | None = None,
 ) -> str:
     """Drive one traced run; returns the report text, writes *out* JSON."""
     run = run_traced(app, p=p, n=n, trace_level=trace_level, seed=seed)
@@ -102,4 +115,74 @@ def run_trace_command(
     if out is not None:
         write_chrome_trace(out, run.machine)
         text += f"\n\nChrome trace written to {out} (open in Perfetto)"
+    if metrics_out is not None:
+        if run.machine.metrics is None:
+            raise SkilError(
+                "--metrics-out needs trace_level >= 1 (no metrics registry)"
+            )
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(run.machine.metrics.render_text())
+        text += f"\n\nPrometheus metrics written to {metrics_out}"
+    return text
+
+
+def run_analyze_command(
+    app: str,
+    p: int = 9,
+    n: int = 48,
+    seed: int = 0,
+    top: int = 8,
+    whatif: bool = True,
+    json_out: str | None = None,
+) -> str:
+    """Drive one traced run through the critical-path analysis.
+
+    Prints the happens-before/critical-path report — makespan
+    attribution, per-skeleton shares, rank loads, straggler skew, the
+    top blocking message edges — and (unless *whatif* is off) replays
+    the run under each perturbed cost model to cross-check the
+    attribution bounds.  *json_out* additionally writes the analysis
+    snapshot (``repro-analyze/1``) for regression comparisons.
+    """
+    import json
+
+    from repro.obs.analysis import analyze_machine, run_whatif
+
+    run = run_traced(app, p=p, n=n, seed=seed)
+    analysis = analyze_machine(run.machine)
+    whatifs = None
+    if whatif:
+        def _replay(cost: CostModel, balance: bool) -> float:
+            rerun = run_traced(
+                app, p=p, n=n, trace_level=0, seed=seed,
+                cost=cost, balance_compute=balance,
+            )
+            return rerun.machine.time
+
+        whatifs = run_whatif(analysis, run.machine.cost, _replay)
+    from repro.obs.analysis import format_analysis
+
+    header = f"analyze {app} p={p} n={run.n} (seed {seed})"
+    text = header + "\n" + "=" * len(header) + "\n"
+    text += format_analysis(analysis, whatifs, top=top)
+    if json_out is not None:
+        snap = analysis.snapshot()
+        snap["app"] = app
+        snap["n"] = run.n
+        snap["seed"] = seed
+        if whatifs:
+            snap["whatif"] = [
+                {
+                    "scenario": w.scenario,
+                    "makespan_s": w.makespan,
+                    "delta_s": w.delta,
+                    "bound_s": w.bound,
+                    "within_bound": w.within_bound,
+                }
+                for w in whatifs
+            ]
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        text += f"\n\nanalysis snapshot written to {json_out}"
     return text

@@ -239,7 +239,12 @@ class Engine:
         wire, hops = self._wire(proc.rank, req.dst, req.nbytes)
         arrival = depart + wire
         key = (req.dst, proc.rank, req.tag)
-        self.stats.record_message(arrival, proc.rank, req.dst, req.nbytes, hops, "isend")
+        # records live on the machine-absolute axis (like the timeline),
+        # so the embedding offset is applied here too
+        self.stats.record_message(
+            self.t0 + arrival, proc.rank, req.dst, req.nbytes, hops, "isend",
+            depart=self.t0 + depart,
+        )
         self.stats.comm_seconds += wire + self.cost.t_setup
         self._observe_message(req.nbytes, hops, req.tag or "isend")
         self._mark(proc.rank, "send", proc.clock, depart, req.tag)
@@ -274,7 +279,8 @@ class Engine:
             finish = start + wire
             self.stats.idle_seconds += max(0.0, finish - post_time - wire)
             self.stats.record_message(
-                finish, proc.rank, req.dst, req.nbytes, hops, "send"
+                self.t0 + finish, proc.rank, req.dst, req.nbytes, hops, "send",
+                depart=self.t0 + start,
             )
             self._observe_message(req.nbytes, hops, req.tag or "send")
             self._mark(proc.rank, "send", proc.clock, finish, req.tag)
@@ -288,7 +294,10 @@ class Engine:
             start = max(proc.clock + self.cost.t_setup, post_time)
             finish = start + wire
             self.stats.idle_seconds += max(0.0, finish - post_time - wire)
-            self.stats.record_message(finish, proc.rank, req.dst, req.nbytes, hops, "send")
+            self.stats.record_message(
+                self.t0 + finish, proc.rank, req.dst, req.nbytes, hops, "send",
+                depart=self.t0 + start,
+            )
             self._observe_message(req.nbytes, hops, req.tag or "send")
             self._mark(proc.rank, "send", proc.clock, finish, req.tag)
             self._mark(dst_rank, "recv", post_time, finish, req.tag)
@@ -318,7 +327,10 @@ class Engine:
             start = max(snd.ready + self.cost.t_setup, proc.clock)
             finish = start + wire
             self.stats.idle_seconds += max(0.0, start - proc.clock)
-            self.stats.record_message(finish, req.src, proc.rank, snd.nbytes, hops, "send")
+            self.stats.record_message(
+                self.t0 + finish, req.src, proc.rank, snd.nbytes, hops, "send",
+                depart=self.t0 + start,
+            )
             self._observe_message(snd.nbytes, hops, req.tag or "send")
             self._mark(req.src, "send", snd.ready, finish, req.tag)
             self._mark(proc.rank, "recv", proc.clock, finish, req.tag)
@@ -366,7 +378,8 @@ class Engine:
             finish = start + wire
             self.stats.idle_seconds += max(0.0, start - proc.clock)
             self.stats.record_message(
-                finish, snd.src, proc.rank, snd.nbytes, hops, "send"
+                self.t0 + finish, snd.src, proc.rank, snd.nbytes, hops, "send",
+                depart=self.t0 + start,
             )
             self._observe_message(snd.nbytes, hops, req.tag or "send")
             self._mark(snd.src, "send", snd.ready, finish, req.tag)

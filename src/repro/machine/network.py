@@ -71,6 +71,12 @@ class Network:
         #: clock arithmetic is bit-identical with tracing off
         self.metrics = None  # repro.obs.metrics.MetricsRegistry | None
         self.timeline = None  # repro.obs.timeline.Timeline | None
+        #: what-if knob (see :mod:`repro.obs.analysis`): when enabled,
+        #: per-processor compute vectors are replaced by their mean and
+        #: single-rank compute is spread over all processors — the
+        #: "perfectly balanced compute" counterfactual.  Never set on
+        #: machines used for real measurements.
+        self.balance_compute = False
 
     def _observe_message(self, nbytes: int, hops: int, tag: str) -> None:
         m = self.metrics
@@ -101,6 +107,8 @@ class Network:
         per-processor times.
         """
         sec = np.asarray(seconds, dtype=np.float64)
+        if sec.ndim != 0 and self.balance_compute and sec.shape == (self.p,):
+            sec = np.asarray(float(sec.mean()))
         if sec.ndim == 0:
             if self.timeline is not None and float(sec) > 0.0:
                 for r in range(self.p):
@@ -125,6 +133,9 @@ class Network:
     def compute_at(self, rank: int, seconds: float) -> None:
         """Advance one processor's clock by local work."""
         self._check_rank(rank)
+        if self.balance_compute:
+            self.compute(seconds / self.p)
+            return
         if self.timeline is not None and seconds > 0.0:
             t0 = float(self.clocks[rank])
             self.timeline.add(rank, "compute", t0, t0 + seconds)
@@ -164,8 +175,8 @@ class Network:
         depart = old_src + self.cost.t_setup
         arrival = depart + wire
         if sync:
-            start = max(depart, old_dst)
-            arrival = start + wire
+            depart = max(depart, old_dst)
+            arrival = depart + wire
             self.stats.idle_seconds += max(0.0, arrival - old_dst - wire)
             self.clocks[src] = arrival
             self.clocks[dst] = arrival
@@ -173,7 +184,7 @@ class Network:
             self.clocks[src] = depart
             self.stats.idle_seconds += max(0.0, arrival - old_dst)
             self.clocks[dst] = max(old_dst, arrival)
-        self.stats.record_message(arrival, src, dst, nbytes, hops, tag)
+        self.stats.record_message(arrival, src, dst, nbytes, hops, tag, depart=depart)
         self.stats.comm_seconds += wire + self.cost.t_setup
         if self.metrics is not None:
             self._observe_message(nbytes, hops, tag)
@@ -228,7 +239,9 @@ class Network:
                 self.clocks[d] = max(self.clocks[d], finish) + (
                     wire if d in srcs else 0.0
                 )
-                self.stats.record_message(finish, s, d, nb(s), hops, tag)
+                self.stats.record_message(
+                    finish, s, d, nb(s), hops, tag, depart=start
+                )
                 self.stats.comm_seconds += wire + self.cost.t_setup
                 self.stats.idle_seconds += max(0.0, start - self.cost.t_setup - old[d])
                 if self.metrics is not None:
@@ -250,7 +263,9 @@ class Network:
                 arrival = depart[s] + wire
                 self.stats.idle_seconds += max(0.0, arrival - old[d])
                 new[d] = max(new[d], arrival)
-                self.stats.record_message(arrival, s, d, nb(s), hops, tag)
+                self.stats.record_message(
+                    arrival, s, d, nb(s), hops, tag, depart=depart[s]
+                )
                 self.stats.comm_seconds += wire + self.cost.t_setup
                 if self.metrics is not None:
                     self._observe_message(nb(s), hops, tag)

@@ -9,7 +9,18 @@ __all__ = ["MessageRecord", "TraceStats"]
 
 @dataclass(frozen=True)
 class MessageRecord:
-    """One recorded message (only kept when tracing is enabled)."""
+    """One recorded message (only kept when tracing is enabled).
+
+    ``time`` is the arrival at the receiver; ``depart`` is when the
+    message entered the wire on the sender side, so ``time - depart``
+    is the transfer (wire) time.  Together the two timestamps give the
+    send→recv *matching* that the happens-before DAG of
+    :mod:`repro.obs.analysis` needs: a record is the message edge from
+    the sender's activity ending at ``depart`` to the receiver's
+    activity ending at ``time``.  Records written before this field
+    existed carry ``depart < 0`` (unknown — treated as a zero-width
+    wire at the arrival time).
+    """
 
     time: float
     src: int
@@ -17,6 +28,12 @@ class MessageRecord:
     nbytes: int
     hops: int
     tag: str
+    depart: float = -1.0
+
+    @property
+    def wire_seconds(self) -> float:
+        """Transfer time on the wire (0.0 when the departure is unknown)."""
+        return self.time - self.depart if self.depart >= 0.0 else 0.0
 
 
 @dataclass
@@ -40,13 +57,22 @@ class TraceStats:
     keep_records: bool = False
 
     def record_message(
-        self, time: float, src: int, dst: int, nbytes: int, hops: int, tag: str = ""
+        self,
+        time: float,
+        src: int,
+        dst: int,
+        nbytes: int,
+        hops: int,
+        tag: str = "",
+        depart: float = -1.0,
     ) -> None:
         self.messages += 1
         self.bytes_sent += nbytes
         self.hops_crossed += hops
         if self.keep_records:
-            self.records.append(MessageRecord(time, src, dst, nbytes, hops, tag))
+            self.records.append(
+                MessageRecord(time, src, dst, nbytes, hops, tag, depart)
+            )
 
     def merge(self, other: "TraceStats") -> None:
         """Fold another stats object into this one (multi-phase runs).

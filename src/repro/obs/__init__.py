@@ -17,15 +17,39 @@ set:
   gauges and histograms (message sizes, hop counts, instantiation
   cache behaviour);
 * :mod:`repro.obs.export` — **exporters**: Chrome trace-event JSON
-  (open in Perfetto or ``chrome://tracing``; one track per rank plus a
-  skeleton-span track) and a flamegraph-style plain-text rollup.
+  (open in Perfetto or ``chrome://tracing``; one track per rank, a
+  skeleton-span track and per-rank idle-wait tracks) and a
+  flamegraph-style plain-text rollup;
+* :mod:`repro.obs.analysis` — the **happens-before DAG** of a traced
+  run, its **critical path** with exact compute/latency/bandwidth/idle
+  attribution, per-rank straggler metrics and what-if cost replays
+  (``python -m repro.eval analyze``);
+* :mod:`repro.obs.regress` — the noise-aware **performance-regression
+  gate** over committed benchmark/analysis snapshots
+  (``python -m repro.obs.regress``).
 
 Everything is opt-in through ``Machine(trace_level=...)`` and costs a
 single ``is None`` check per operation when off, so the simulated
 makespans are bit-identical with tracing disabled.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, global_metrics
+from repro.obs.analysis import (
+    CriticalPath,
+    HappensBeforeDag,
+    PathStep,
+    RunAnalysis,
+    analyze_machine,
+    build_dag,
+    critical_path,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_metrics,
+    isolated_metrics,
+)
 from repro.obs.span import Span, SpanTracer
 from repro.obs.timeline import Interval, Timeline
 from repro.obs.export import (
@@ -41,6 +65,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "global_metrics",
+    "isolated_metrics",
     "Span",
     "SpanTracer",
     "Interval",
@@ -49,4 +74,11 @@ __all__ = [
     "flame_rollup",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "CriticalPath",
+    "HappensBeforeDag",
+    "PathStep",
+    "RunAnalysis",
+    "analyze_machine",
+    "build_dag",
+    "critical_path",
 ]

@@ -8,7 +8,16 @@ the unit the format expects.
 
 Track layout: one process ("skil machine"), thread 0 carries the
 skeleton spans (nested by stack discipline), threads ``1..p`` carry the
-per-rank compute/send/recv/idle intervals.
+per-rank compute/send/recv/idle intervals, and threads ``1001..1000+p``
+carry the derived **idle-wait** tracks — the maximal gaps of each rank
+(explicit idle intervals and untracked holes merged, from
+:meth:`~repro.obs.timeline.Timeline.idle_gaps`), the same quantity the
+critical-path analysis attributes as ``idle``.
+
+Every export path validates its own output
+(:func:`validate_chrome_trace` inside :func:`write_chrome_trace`), so a
+malformed trace fails at write time — in the CLI and in Engine-mode
+(``divide_and_conquer``/``farm``) runs alike, not just under the tests.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Any
 
+from repro.errors import SkilError
 from repro.obs.span import Span, SpanTracer
 from repro.obs.timeline import Timeline
 
@@ -31,6 +41,8 @@ __all__ = [
 
 _PID = 1
 _SPAN_TID = 0
+#: thread-id base for the derived per-rank idle-wait tracks
+_IDLE_TID_BASE = 1000
 
 
 def _us(seconds: float) -> float:
@@ -106,6 +118,33 @@ def chrome_trace_events(
                     "args": {},
                 }
             )
+        # derived idle-wait tracks: one per rank, maximal gaps only
+        for r in timeline.ranks():
+            gaps = timeline.idle_gaps(r)
+            if not gaps:
+                continue
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": _PID,
+                    "tid": _IDLE_TID_BASE + r + 1,
+                    "args": {"name": f"rank {r} idle-wait"},
+                }
+            )
+            for a, b in gaps:
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": "idle-wait",
+                        "cat": "idle-wait",
+                        "pid": _PID,
+                        "tid": _IDLE_TID_BASE + r + 1,
+                        "ts": _us(a),
+                        "dur": _us(b - a),
+                        "args": {"seconds": b - a},
+                    }
+                )
     return events
 
 
@@ -119,6 +158,12 @@ def write_chrome_trace(path, machine: "Machine") -> dict[str, Any]:
             "makespan_s": machine.time,
         },
     }
+    problems = validate_chrome_trace(obj)
+    if problems:
+        raise SkilError(
+            f"refusing to write an invalid Chrome trace to {path}: "
+            + "; ".join(problems[:5])
+        )
     with open(path, "w") as fh:
         json.dump(obj, fh)
     return obj
@@ -158,14 +203,20 @@ def validate_chrome_trace(obj: Any) -> list[str]:
     return problems
 
 
-def flame_rollup(tracer: SpanTracer, min_share: float = 0.0) -> str:
+def flame_rollup(
+    tracer: SpanTracer,
+    min_share: float = 0.0,
+    timeline: Timeline | None = None,
+) -> str:
     """Flamegraph-style plain-text rollup of the span tree.
 
     Spans are aggregated by their root-to-leaf name path; every line
     shows inclusive simulated busy seconds (compute+comm+idle summed
     over the participating processors), call count and the compute /
     comm / idle split.  Children are indented under their parents and
-    sorted by busy time.
+    sorted by busy time.  With a *timeline*, a per-rank idle-wait
+    section follows — gap counts and totals from
+    :meth:`~repro.obs.timeline.Timeline.idle_gaps`, worst rank first.
     """
     agg: dict[tuple[str, ...], dict[str, float]] = {}
     for s in tracer.closed_spans():
@@ -207,4 +258,21 @@ def flame_rollup(tracer: SpanTracer, min_share: float = 0.0) -> str:
             emit(p)
 
     emit(())
+
+    if timeline is not None and timeline.ranks():
+        rows = []
+        for r in timeline.ranks():
+            gaps = timeline.idle_gaps(r)
+            rows.append((sum(b - a for a, b in gaps), len(gaps), r))
+        rows.sort(reverse=True)
+        lines.append("")
+        lines.append(
+            f"{'per-rank idle-wait':<44}{'idle [s]':>10}{'gaps':>7}"
+            f"{'busy':>9}"
+        )
+        for idle, ngaps, r in rows:
+            lines.append(
+                f"{f'rank {r}':<44}{idle:>10.4f}{ngaps:>7}"
+                f"{timeline.busy_fraction(r):>9.1%}"
+            )
     return "\n".join(lines)

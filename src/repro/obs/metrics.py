@@ -10,7 +10,11 @@ front end) report into the process-wide :func:`global_metrics` registry.
 from __future__ import annotations
 
 import bisect
+import math
+import re
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 __all__ = [
     "Counter",
@@ -18,6 +22,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "global_metrics",
+    "isolated_metrics",
     "POW2_BUCKETS",
 ]
 
@@ -86,6 +91,49 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs.
+
+        One pair per configured bound plus the terminal ``+Inf`` bucket;
+        counts are running totals, so the last equals :attr:`count`.
+        """
+        out: list[tuple[float, int]] = []
+        cum = 0
+        for i, bound in enumerate(self.buckets):
+            cum += self.counts[i]
+            out.append((bound, cum))
+        out.append((math.inf, cum + self.counts[len(self.buckets)]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate *q*-quantile from the bucket counts.
+
+        Linear interpolation inside the winning bucket (Prometheus
+        ``histogram_quantile`` semantics), clamped to the observed
+        min/max so q=0 and q=1 are exact.  Returns 0.0 with no
+        observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0 or self.min is None or self.max is None:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        lo = 0.0
+        for i, bound in enumerate(self.buckets):
+            c = self.counts[i]
+            if cum + c >= target and c > 0:
+                frac = (target - cum) / c
+                lo_eff = max(lo, self.min)
+                hi_eff = min(bound, self.max)
+                if hi_eff < lo_eff:
+                    hi_eff = lo_eff
+                return min(max(lo_eff + frac * (hi_eff - lo_eff), self.min),
+                           self.max)
+            cum += c
+            lo = bound
+        return self.max
 
     def nonzero_buckets(self) -> list[tuple[str, int]]:
         """(upper-bound label, count) for buckets that saw any value."""
@@ -172,10 +220,68 @@ class MetricsRegistry:
             )
         return "\n".join(lines)
 
+    def render_text(self, quantiles: tuple[float, ...] = (0.5, 0.9, 0.99)) -> str:
+        """Prometheus text exposition (version 0.0.4) of the registry.
+
+        Counters render as ``<name>_total``, histograms with cumulative
+        ``_bucket{le="..."}`` series ending in ``+Inf`` plus ``_sum`` /
+        ``_count``, and — as gauges, since the exposition format has no
+        native quantile series for histograms — the requested
+        approximate quantiles as ``<name>{quantile="..."}``.  Metric
+        names are sanitised to the Prometheus charset; the output is
+        sorted and ends with a newline, scrape-ready for a file-based
+        textfile collector.
+        """
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            pname = _prom_name(name)
+            lines.append(f"# TYPE {pname}_total counter")
+            lines.append(f"{pname}_total {_prom_value(self._counters[name].value)}")
+        for name in sorted(self._gauges):
+            pname = _prom_name(name)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_prom_value(self._gauges[name].value)}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            pname = _prom_name(name)
+            lines.append(f"# TYPE {pname} histogram")
+            for bound, cum in h.cumulative_buckets():
+                le = "+Inf" if math.isinf(bound) else _prom_value(bound)
+                lines.append(f'{pname}_bucket{{le="{le}"}} {cum}')
+            lines.append(f"{pname}_sum {_prom_value(h.total)}")
+            lines.append(f"{pname}_count {h.count}")
+            if h.count:
+                lines.append(f"# TYPE {pname}_quantile gauge")
+                for q in quantiles:
+                    lines.append(
+                        f'{pname}_quantile{{quantile="{_prom_value(q)}"}} '
+                        f"{_prom_value(h.quantile(q))}"
+                    )
+        return "\n".join(lines) + "\n"
+
     def clear(self) -> None:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise to the Prometheus metric-name charset."""
+    out = _NAME_BAD.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_value(v: float) -> str:
+    """Render a sample value: integers without the trailing ``.0``."""
+    f = float(v)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
 
 
 _GLOBAL = MetricsRegistry()
@@ -183,5 +289,28 @@ _GLOBAL = MetricsRegistry()
 
 def global_metrics() -> MetricsRegistry:
     """Process-wide registry for layers with no machine in scope
-    (the compiler front end); tests may :meth:`~MetricsRegistry.clear` it."""
+    (the compiler front end); tests may :meth:`~MetricsRegistry.clear` it.
+    Code that must not leak observations into (or observe leakage from)
+    other work should use :func:`isolated_metrics` instead of clearing."""
     return _GLOBAL
+
+
+@contextmanager
+def isolated_metrics() -> Iterator[MetricsRegistry]:
+    """Swap in a fresh process-wide registry for the duration of the block.
+
+    Everything that calls :func:`global_metrics` inside the ``with``
+    observes (and pollutes) only the temporary registry, which is
+    yielded for inspection; the previous registry — with its
+    accumulated values intact — is restored on exit, even on error.
+    ``repro.check`` wraps each trial in this so fuzz/oracle/diff trials
+    cannot leak counters into each other or into the host test process.
+    """
+    global _GLOBAL
+    prev = _GLOBAL
+    fresh = MetricsRegistry()
+    _GLOBAL = fresh
+    try:
+        yield fresh
+    finally:
+        _GLOBAL = prev

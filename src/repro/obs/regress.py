@@ -1,0 +1,234 @@
+"""Noise-aware performance-regression gate: ``python -m repro.obs.regress``.
+
+Compares two performance snapshots — either ``repro-bench/1`` files
+(``BENCH_baseline.json`` / ``BENCH_perf.json`` from ``repro.eval
+bench``) or ``repro-analyze/1`` files (``repro.eval analyze
+--json-out``) — and exits nonzero when the newer one regressed.  The
+gating rules respect what is deterministic and what is noisy:
+
+* **simulated seconds are deterministic.**  The analytic clocks charge
+  identical costs on every host, so any per-entry ``sim_seconds`` (or
+  analyze ``makespan_s``) increase beyond a small float tolerance is a
+  real slowdown of the modelled machine and is always gated — this is
+  the check that catches a 10 % makespan regression dead.
+* **wall-clock is noisy.**  Absolute wall times vary across hosts and
+  runs far beyond any useful threshold (the committed baseline/perf
+  pair differs by 2x on some microbenchmarks), so absolute wall times
+  are *reported* but never gated by default.  What is gated is the
+  fused/unfused **speedup ratio** — self-normalising against host speed
+  — and only for entries where the baseline demonstrated a real win
+  (speedup above a noise floor): those may not give back more than a
+  configurable fraction of it.
+* **booleans are contracts.**  ``sim_identical`` (fused and per-rank
+  paths agree bit-for-bit) may never flip from true to false, and
+  entries present in the baseline may not disappear.
+
+Usage::
+
+    python -m repro.obs.regress BENCH_baseline.json BENCH_perf.json
+    python -m repro.obs.regress old_analyze.json new_analyze.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+__all__ = [
+    "Regression",
+    "compare_bench",
+    "compare_analyze",
+    "compare_snapshots",
+    "format_regressions",
+    "main",
+    "SIM_TOLERANCE",
+    "SPEEDUP_GIVEBACK",
+    "SPEEDUP_NOISE_FLOOR",
+]
+
+#: relative tolerance on deterministic simulated seconds
+SIM_TOLERANCE = 0.02
+
+#: a gated speedup may lose at most this fraction of the baseline win
+SPEEDUP_GIVEBACK = 0.25
+
+#: baseline speedups at or below this are treated as noise, not wins
+SPEEDUP_NOISE_FLOOR = 1.05
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated quantity that got worse."""
+
+    entry: str  # e.g. "microbench/map p=16"
+    metric: str  # e.g. "sim_seconds"
+    baseline: float
+    current: float
+    detail: str = ""
+
+    def __str__(self) -> str:
+        line = (
+            f"{self.entry}: {self.metric} regressed "
+            f"{self.baseline:g} -> {self.current:g}"
+        )
+        if self.detail:
+            line += f" ({self.detail})"
+        return line
+
+
+def _entry_key(section: str, e: dict) -> str:
+    key = f"{section}/{e.get('name', '?')}"
+    if "p" in e:
+        key += f" p={e['p']}"
+    return key
+
+
+def compare_bench(
+    baseline: dict,
+    current: dict,
+    sim_tolerance: float = SIM_TOLERANCE,
+    speedup_giveback: float = SPEEDUP_GIVEBACK,
+) -> list[Regression]:
+    """Gate a ``repro-bench/1`` pair; returns the regressions found."""
+    out: list[Regression] = []
+    for section in ("microbench", "end_to_end"):
+        base_entries = {
+            _entry_key(section, e): e for e in baseline.get(section, [])
+        }
+        cur_entries = {
+            _entry_key(section, e): e for e in current.get(section, [])
+        }
+        for key, be in sorted(base_entries.items()):
+            ce = cur_entries.get(key)
+            if ce is None:
+                out.append(
+                    Regression(key, "coverage", 1.0, 0.0,
+                               "entry present in baseline, missing now")
+                )
+                continue
+            # deterministic simulated time: tight gate
+            bs, cs = be.get("sim_seconds"), ce.get("sim_seconds")
+            if bs and cs and cs > bs * (1.0 + sim_tolerance):
+                out.append(
+                    Regression(key, "sim_seconds", bs, cs,
+                               f"deterministic; tolerance {sim_tolerance:.0%}")
+                )
+            # bit-equivalence contract
+            if be.get("sim_identical") and not ce.get("sim_identical", True):
+                out.append(
+                    Regression(key, "sim_identical", 1.0, 0.0,
+                               "fused/per-rank paths no longer bit-identical")
+                )
+            # wall-clock: gate only demonstrated speedups, as ratios
+            bsp, csp = be.get("speedup"), ce.get("speedup")
+            if (
+                baseline.get("fusion_available", True)
+                and current.get("fusion_available", True)
+                and bsp is not None
+                and csp is not None
+                and bsp > SPEEDUP_NOISE_FLOOR
+            ):
+                floor = 1.0 + (bsp - 1.0) * (1.0 - speedup_giveback)
+                if csp < floor:
+                    out.append(
+                        Regression(
+                            key, "speedup", bsp, csp,
+                            f"floor {floor:.3f} = keep "
+                            f"{1 - speedup_giveback:.0%} of the win",
+                        )
+                    )
+    return out
+
+
+def compare_analyze(
+    baseline: dict,
+    current: dict,
+    sim_tolerance: float = SIM_TOLERANCE,
+) -> list[Regression]:
+    """Gate a ``repro-analyze/1`` pair (same app/p assumed).
+
+    Everything in an analyze snapshot is simulated, hence
+    deterministic: the makespan and each attribution component get the
+    tight tolerance.  Components that were ~zero in the baseline are
+    gated against a floor of *sim_tolerance* x makespan instead of a
+    ratio (a ratio over zero is meaningless).
+    """
+    out: list[Regression] = []
+    label = f"analyze/{baseline.get('app', '?')} p={baseline.get('p', '?')}"
+    bm, cm = baseline.get("makespan_s"), current.get("makespan_s")
+    if bm and cm and cm > bm * (1.0 + sim_tolerance):
+        out.append(
+            Regression(label, "makespan_s", bm, cm,
+                       f"deterministic; tolerance {sim_tolerance:.0%}")
+        )
+    bc = baseline.get("components", {})
+    cc = current.get("components", {})
+    for comp in sorted(set(bc) | set(cc)):
+        b, c = bc.get(comp, 0.0), cc.get(comp, 0.0)
+        floor = sim_tolerance * (bm or 0.0)
+        if c > max(b * (1.0 + sim_tolerance), b + floor):
+            out.append(
+                Regression(label, f"components.{comp}", b, c,
+                           "critical-path attribution grew")
+            )
+    return out
+
+
+def compare_snapshots(baseline: dict, current: dict, **kw) -> list[Regression]:
+    """Dispatch on the snapshots' ``schema`` field."""
+    bschema = baseline.get("schema", "")
+    cschema = current.get("schema", "")
+    if bschema != cschema:
+        return [
+            Regression("schema", "schema", 0.0, 0.0,
+                       f"cannot compare {bschema!r} with {cschema!r}")
+        ]
+    if bschema.startswith("repro-analyze/"):
+        kw.pop("speedup_giveback", None)
+        return compare_analyze(baseline, current, **kw)
+    return compare_bench(baseline, current, **kw)
+
+
+def format_regressions(regs: list[Regression]) -> str:
+    if not regs:
+        return "no regressions"
+    lines = [f"{len(regs)} regression(s):"]
+    lines += [f"  - {r}" for r in regs]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="compare two performance snapshots; exit 1 on regression",
+    )
+    parser.add_argument("baseline", help="older snapshot (JSON)")
+    parser.add_argument("current", help="newer snapshot (JSON)")
+    parser.add_argument(
+        "--sim-tolerance", type=float, default=SIM_TOLERANCE,
+        help="relative tolerance on deterministic simulated seconds "
+             "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--speedup-giveback", type=float, default=SPEEDUP_GIVEBACK,
+        help="fraction of a baseline speedup win that may be lost "
+             "(default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)
+    regs = compare_snapshots(
+        baseline, current,
+        sim_tolerance=args.sim_tolerance,
+        speedup_giveback=args.speedup_giveback,
+    )
+    print(f"{args.baseline} -> {args.current}: {format_regressions(regs)}")
+    return 1 if regs else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

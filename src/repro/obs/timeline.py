@@ -56,6 +56,74 @@ class Timeline:
     def busy_seconds(self, rank: int) -> float:
         return sum(iv.duration for iv in self.for_rank(rank) if iv.kind != IDLE)
 
+    # ------------------------------------------------------------ occupancy
+    def span(self, rank: int) -> tuple[float, float] | None:
+        """Earliest start and latest end of the rank's intervals (any
+        kind), or ``None`` when the rank never appears."""
+        ivs = self.for_rank(rank)
+        if not ivs:
+            return None
+        return min(iv.start for iv in ivs), max(iv.end for iv in ivs)
+
+    def busy_segments(self, rank: int) -> list[tuple[float, float]]:
+        """Union of the rank's non-idle intervals as disjoint, sorted
+        ``(start, end)`` segments.  Overlapping intervals (a rank that
+        both sends and receives in one synchronous shift) are merged, so
+        the segment lengths never double-count a simulated second the
+        way :meth:`busy_seconds` can."""
+        segs = sorted(
+            (iv.start, iv.end) for iv in self.for_rank(rank) if iv.kind != IDLE
+        )
+        merged: list[tuple[float, float]] = []
+        for a, b in segs:
+            if merged and a <= merged[-1][1]:
+                if b > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], b)
+            else:
+                merged.append((a, b))
+        return merged
+
+    def coverage(self, rank: int) -> float:
+        """Total non-idle time of the rank, overlaps merged."""
+        return sum(b - a for a, b in self.busy_segments(rank))
+
+    def idle_gaps(self, rank: int) -> list[tuple[float, float]]:
+        """Maximal idle segments within the rank's own span.
+
+        A gap is any part of ``[span start, span end]`` not covered by a
+        non-idle interval — explicit idle intervals and untracked holes
+        alike.  By construction ``sum(gap lengths) + coverage(rank)``
+        equals the span length; the empty timeline has no gaps.
+        """
+        sp = self.span(rank)
+        if sp is None:
+            return []
+        lo, hi = sp
+        gaps: list[tuple[float, float]] = []
+        cur = lo
+        for a, b in self.busy_segments(rank):
+            if a > cur:
+                gaps.append((cur, a))
+            cur = max(cur, b)
+        if hi > cur:
+            gaps.append((cur, hi))
+        return gaps
+
+    def busy_fraction(self, rank: int, horizon: float | None = None) -> float:
+        """Fraction of *horizon* the rank spent non-idle (overlaps
+        merged).  *horizon* defaults to the rank's own span; pass the
+        run's makespan to compare ranks on a common denominator.  Ranks
+        with no activity (or a zero horizon) report 0.0.
+        """
+        if horizon is None:
+            sp = self.span(rank)
+            if sp is None:
+                return 0.0
+            horizon = sp[1] - sp[0]
+        if horizon <= 0.0:
+            return 0.0
+        return self.coverage(rank) / horizon
+
     def clear(self) -> None:
         self.intervals.clear()
 

@@ -1,0 +1,49 @@
+"""The ``dag`` conformance pillar: invariants hold, corruption is caught."""
+
+import random
+
+from repro.check.dagcheck import run_dag, run_dag_raw, trial_dag
+from repro.machine.machine import Machine
+from repro.obs.analysis import invariant_problems
+from repro.skeletons import SkilContext
+
+
+class TestPillarRuns:
+    def test_batch_is_green(self):
+        res = run_dag(seed=0, budget=12)
+        assert res.trials == 12
+        assert res.failures == []
+        assert set(res.coverage) <= {"dag.pattern", "dag.skeleton"}
+        assert sum(res.coverage.values()) == 12
+
+    def test_raw_seed_replay_matches(self):
+        seed = 5 * 1_000_003 + 3
+        res = run_dag_raw(seed, budget=1)
+        assert res.trials == 1 and res.failures == []
+
+    def test_trials_are_deterministic(self):
+        a = trial_dag(random.Random(42))
+        b = trial_dag(random.Random(42))
+        assert a == b
+
+    def test_time_budget_stops_early(self):
+        res = run_dag(seed=0, budget=100000, time_budget=1.0)
+        assert 0 < res.trials < 100000
+
+
+class TestCorruptionIsCaught:
+    def test_tampered_timeline_fails_invariants(self):
+        import numpy as np
+
+        from repro.machine.machine import DISTR_RING
+
+        m = Machine(3, trace_level=2)
+        ctx = SkilContext(m)
+        a = ctx.array_create(1, (6,), (0,), (-1,), lambda ix: ix[0],
+                             DISTR_RING, dtype=np.int64)
+        ctx.array_broadcast_part(a, (0,))
+        assert invariant_problems(m) == []
+        # push an interval past the makespan: the DAG check must object
+        m.timeline.add(0, "compute", m.time + 1.0, m.time + 2.0, "phantom")
+        assert any("escapes" in p or "makespan" in p
+                   for p in invariant_problems(m))

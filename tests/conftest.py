@@ -1,0 +1,19 @@
+"""Shared fixtures for the tier-1 suite."""
+
+import pytest
+
+from repro.obs.metrics import isolated_metrics
+
+
+@pytest.fixture(autouse=True)
+def _isolated_global_metrics():
+    """Give every test its own process-global metrics registry.
+
+    Layers without a machine in scope (the compiler front end) report
+    into ``global_metrics()``; without isolation a test asserting on
+    those counters can pass or fail depending on which tests ran before
+    it.  The swap-in/swap-out keeps each test hermetic and leaves the
+    host process's registry untouched.
+    """
+    with isolated_metrics():
+        yield

@@ -1,0 +1,82 @@
+"""The ``analyze`` subcommand and the trace ``--metrics-out`` flag."""
+
+import json
+import math
+
+import pytest
+
+from repro.eval.tracecmd import run_analyze_command, run_trace_command
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("analyze") / "snap.json"
+        text = run_analyze_command(
+            "gauss", p=9, n=18, json_out=str(out)
+        )
+        return text, json.loads(out.read_text())
+
+    def test_report_sections(self, report):
+        text, _ = report
+        for needle in (
+            "critical path over",
+            "per-skeleton critical-path attribution",
+            "rank loads",
+            "per-skeleton imbalance",
+            "top blocking edges",
+            "what-if replays",
+        ):
+            assert needle in text
+
+    def test_snapshot_attribution_sums(self, report):
+        _, snap = report
+        assert snap["schema"] == "repro-analyze/1"
+        total = math.fsum(snap["components"].values())
+        assert total == pytest.approx(snap["makespan_s"], rel=1e-12)
+
+    def test_snapshot_whatifs_within_bounds(self, report):
+        _, snap = report
+        assert snap["whatif"], "what-if replays ran by default"
+        for w in snap["whatif"]:
+            assert w["within_bound"] in (True, None)
+
+    def test_no_whatif_skips_replays(self):
+        text = run_analyze_command("gauss", p=4, n=8, whatif=False)
+        assert "what-if replays" not in text
+
+    def test_cli_dispatch(self, tmp_path, capsys):
+        from repro.eval.__main__ import main
+
+        out = tmp_path / "a.json"
+        rc = main([
+            "analyze", "--app", "gauss", "--p", "4", "--n", "8",
+            "--no-whatif", "--json-out", str(out),
+        ])
+        assert rc == 0
+        assert "critical path over" in capsys.readouterr().out
+        assert json.loads(out.read_text())["p"] == 4
+
+
+class TestTraceMetricsOut:
+    def test_metrics_out_writes_exposition(self, tmp_path):
+        path = tmp_path / "m.prom"
+        text = run_trace_command(
+            "gauss", p=4, n=8, metrics_out=str(path)
+        )
+        assert "Prometheus metrics written" in text
+        body = path.read_text()
+        assert "# TYPE" in body
+        assert "net_message_bytes_bucket" in body
+        assert '{le="+Inf"}' in body
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.eval.__main__ import main
+
+        path = tmp_path / "m.prom"
+        rc = main([
+            "trace", "--app", "gauss", "--p", "4", "--n", "8",
+            "--metrics-out", str(path),
+        ])
+        assert rc == 0
+        assert path.exists()

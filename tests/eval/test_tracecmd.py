@@ -33,8 +33,9 @@ class TestRunTraced:
 class TestTraceJson:
     def test_shpaths_trace_has_rank_tracks_and_paired_spans(self, tmp_path):
         """Acceptance: the emitted Chrome JSON for a shortest-paths run
-        has one track per rank plus the skeleton-span track, and every
-        skeleton span is closed (begin paired with end)."""
+        has one track per rank plus the skeleton-span track and per-rank
+        idle-wait tracks, and every skeleton span is closed (begin paired
+        with end)."""
         out = tmp_path / "shp.json"
         run_trace_command("shpaths", p=4, n=12, out=str(out))
         obj = json.loads(out.read_text())
@@ -44,8 +45,16 @@ class TestTraceJson:
             e["name"] for e in events if e["ph"] == "X" and e["tid"] == 0
         }
         assert "array_gen_mult" in span_names
-        rank_tids = {e["tid"] for e in events if e["ph"] == "X" and e["tid"] > 0}
+        rank_tids = {
+            e["tid"] for e in events
+            if e["ph"] == "X" and 0 < e["tid"] <= 4
+        }
         assert rank_tids == {1, 2, 3, 4}  # one track per rank
+        idle_tids = {
+            e["tid"] for e in events
+            if e["ph"] == "X" and e.get("cat") == "idle-wait"
+        }
+        assert idle_tids <= {1001, 1002, 1003, 1004}
         assert obj["otherData"]["p"] == 4
 
 

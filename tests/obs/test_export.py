@@ -45,7 +45,10 @@ class TestChromeTraceEvents:
     def test_one_track_per_rank(self):
         m = traced_run(p=4)
         events = chrome_trace_events(m.tracer, m.timeline)
-        rank_tids = {e["tid"] for e in events if e["ph"] == "X" and e["tid"] > 0}
+        rank_tids = {
+            e["tid"] for e in events
+            if e["ph"] == "X" and 0 < e["tid"] <= 4
+        }
         assert rank_tids == {1, 2, 3, 4}
         names = {
             e["args"]["name"] for e in events

@@ -1,0 +1,157 @@
+"""The noise-aware regression gate over bench/analyze snapshots."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    SPEEDUP_NOISE_FLOOR,
+    compare_analyze,
+    compare_bench,
+    compare_snapshots,
+    format_regressions,
+    main,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def committed():
+    base = json.loads((ROOT / "BENCH_baseline.json").read_text())
+    perf = json.loads((ROOT / "BENCH_perf.json").read_text())
+    return base, perf
+
+
+class TestCommittedPair:
+    def test_baseline_to_perf_passes(self, committed):
+        base, perf = committed
+        assert compare_snapshots(base, perf) == []
+
+    def test_perf_to_itself_passes(self, committed):
+        _, perf = committed
+        assert compare_snapshots(perf, copy.deepcopy(perf)) == []
+
+    def test_cli_exit_codes(self, committed, tmp_path):
+        base, perf = committed
+        b, c = tmp_path / "b.json", tmp_path / "c.json"
+        b.write_text(json.dumps(base))
+        c.write_text(json.dumps(perf))
+        assert main([str(b), str(c)]) == 0
+        slow = copy.deepcopy(perf)
+        for e in slow["microbench"]:
+            e["sim_seconds"] *= 1.10
+        c.write_text(json.dumps(slow))
+        assert main([str(b), str(c)]) == 1
+
+
+class TestDeterministicGate:
+    def test_ten_percent_sim_slowdown_is_flagged(self, committed):
+        _, perf = committed
+        slow = copy.deepcopy(perf)
+        for section in ("microbench", "end_to_end"):
+            for e in slow[section]:
+                e["sim_seconds"] *= 1.10
+        regs = compare_snapshots(perf, slow)
+        assert regs, "a 10% simulated slowdown must never pass"
+        assert all(r.metric == "sim_seconds" for r in regs)
+        # every gated entry regressed, so every entry is reported
+        n_entries = len(perf["microbench"]) + len(perf["end_to_end"])
+        assert len(regs) == n_entries
+
+    def test_small_sim_jitter_passes(self, committed):
+        _, perf = committed
+        wiggle = copy.deepcopy(perf)
+        for e in wiggle["microbench"]:
+            e["sim_seconds"] *= 1.001
+        assert compare_snapshots(perf, wiggle) == []
+
+    def test_sim_identical_flip_is_flagged(self, committed):
+        _, perf = committed
+        broken = copy.deepcopy(perf)
+        broken["microbench"][0]["sim_identical"] = False
+        regs = compare_bench(perf, broken)
+        assert any(r.metric == "sim_identical" for r in regs)
+
+    def test_missing_entry_is_flagged(self, committed):
+        _, perf = committed
+        shrunk = copy.deepcopy(perf)
+        shrunk["microbench"] = shrunk["microbench"][1:]
+        regs = compare_bench(perf, shrunk)
+        assert any(r.metric == "coverage" for r in regs)
+
+
+class TestWallClockGate:
+    def test_absolute_wall_noise_is_not_gated(self, committed):
+        _, perf = committed
+        noisy = copy.deepcopy(perf)
+        for e in noisy["microbench"]:
+            e["fused_s"] *= 3.0  # slower host, same speedups
+            e["unfused_s"] *= 3.0
+        assert compare_bench(perf, noisy) == []
+
+    def test_losing_a_demonstrated_speedup_is_flagged(self, committed):
+        _, perf = committed
+        gated = [
+            e for e in perf["microbench"]
+            if e["speedup"] > SPEEDUP_NOISE_FLOOR
+        ]
+        if not gated:
+            pytest.skip("committed run demonstrates no gated speedup")
+        flat = copy.deepcopy(perf)
+        for e in flat["microbench"]:
+            e["speedup"] = 1.0
+        regs = compare_bench(perf, flat)
+        assert any(r.metric == "speedup" for r in regs)
+
+    def test_noise_level_speedups_are_not_gated(self, committed):
+        base, _ = committed
+        # the pre-fusion baseline's speedups hover around 1.0; losing
+        # them must not fail the gate
+        flat = copy.deepcopy(base)
+        for e in flat["microbench"]:
+            e["speedup"] = 0.95
+        assert all(
+            r.metric != "speedup" for r in compare_bench(base, flat)
+        )
+
+
+class TestAnalyzeSnapshots:
+    SNAP = {
+        "schema": "repro-analyze/1",
+        "app": "gauss",
+        "p": 16,
+        "makespan_s": 0.08,
+        "components": {
+            "compute": 0.05, "latency": 0.02, "bandwidth": 0.01, "idle": 0.0,
+        },
+    }
+
+    def test_identical_passes(self):
+        assert compare_snapshots(self.SNAP, copy.deepcopy(self.SNAP)) == []
+
+    def test_makespan_slowdown_flagged(self):
+        slow = copy.deepcopy(self.SNAP)
+        slow["makespan_s"] *= 1.10
+        regs = compare_analyze(self.SNAP, slow)
+        assert any(r.metric == "makespan_s" for r in regs)
+
+    def test_component_growth_flagged(self):
+        worse = copy.deepcopy(self.SNAP)
+        worse["components"]["idle"] = 0.02  # idle appeared from nothing
+        regs = compare_analyze(self.SNAP, worse)
+        assert any(r.metric == "components.idle" for r in regs)
+
+    def test_schema_mismatch_refused(self, committed):
+        base, _ = committed
+        regs = compare_snapshots(base, self.SNAP)
+        assert regs and regs[0].metric == "schema"
+
+    def test_format_lists_every_regression(self):
+        slow = copy.deepcopy(self.SNAP)
+        slow["makespan_s"] *= 1.5
+        text = format_regressions(compare_analyze(self.SNAP, slow))
+        assert "makespan_s" in text
+        assert format_regressions([]) == "no regressions"
