@@ -19,6 +19,7 @@ See ``docs/TESTING.md`` for the seed-reproduction workflow.
 from repro.check.diffcheck import run_diff
 from repro.check.fuzz import run_fuzz
 from repro.check.interp import Interp, InterpUnsupported
+from repro.check.netbatch import run_batch
 from repro.check.oracle import run_oracle
 from repro.check.report import CheckResult, Failure, format_failure, format_result
 
@@ -26,6 +27,7 @@ __all__ = [
     "run_fuzz",
     "run_oracle",
     "run_diff",
+    "run_batch",
     "Interp",
     "InterpUnsupported",
     "CheckResult",

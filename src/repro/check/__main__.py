@@ -20,6 +20,7 @@ import sys
 from repro.check.dagcheck import run_dag, run_dag_raw
 from repro.check.diffcheck import run_diff, run_diff_raw
 from repro.check.fuzz import run_fuzz, run_fuzz_raw
+from repro.check.netbatch import run_batch, run_batch_raw
 from repro.check.oracle import run_oracle, run_oracle_raw
 from repro.check.report import CheckResult, format_result
 
@@ -32,7 +33,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument(
         "pillar",
-        choices=["fuzz", "oracle", "diff", "dag", "all"],
+        choices=["fuzz", "oracle", "diff", "dag", "batch", "all"],
         nargs="?",
         default="all",
         help="which pillar to run (default: all)",
@@ -68,7 +69,7 @@ def main(argv: list[str] | None = None) -> int:
         set_fusion_default(args.fused)
 
     pillars = (
-        ["fuzz", "oracle", "diff", "dag"]
+        ["fuzz", "oracle", "diff", "dag", "batch"]
         if args.pillar == "all"
         else [args.pillar]
     )
@@ -80,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
                 "oracle": run_oracle_raw,
                 "diff": run_diff_raw,
                 "dag": run_dag_raw,
+                "batch": run_batch_raw,
             }[pillar]
             res = runner(args.seed, args.budget)
         else:
@@ -88,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
                 "oracle": run_oracle,
                 "diff": run_diff,
                 "dag": run_dag,
+                "batch": run_batch,
             }[pillar]
             res = runner(
                 args.seed,

@@ -9,7 +9,9 @@ historical per-rank path), and records both together with their
 speedup into ``BENCH_perf.json``:
 
 * **microbenchmarks** — ``map`` / ``zip`` / ``fold`` / ``create`` /
-  ``copy`` at ``p ∈ {4, 16, 64}`` over seeded block-distributed arrays.
+  ``copy`` plus the fused-communication paths ``genmult`` /
+  ``broadcast_part`` / ``permute_rows`` / ``scan`` at ``p ∈ {4, 16, 64}``
+  over seeded block-distributed arrays.
   Only the skeleton calls are inside the timed region; setup (machine
   construction, RNG data generation, initial distribution) happens once
   per mode, untimed, so the ratio measures skeleton execution and not
@@ -24,9 +26,9 @@ bit-identical between the fused and per-rank paths — the harness
 doubles as the perf-equivalence gate.
 
 ``--check-against FILE`` compares the measured fused speedups of the
-``map``/``fold`` microbenchmarks against a previously committed
-``BENCH_perf.json`` and fails (exit 1) when any of them regressed by
-more than 25 % — the CI ``bench-smoke`` contract.
+``map``/``fold``/``genmult``/``broadcast_part`` microbenchmarks against
+a previously committed ``BENCH_perf.json`` and fails (exit 1) when any
+of them regressed by more than 25 % — the CI ``bench-smoke`` contract.
 """
 
 from __future__ import annotations
@@ -49,8 +51,19 @@ MICRO_PS = (4, 16, 64)
 #: speedup that must still be reached)
 REGRESSION_FLOOR = 0.75
 
-#: microbenchmark names gated by --check-against
-GATED_MICROS = ("map", "fold")
+#: microbenchmark names gated by --check-against, mapped to the
+#: processor counts whose speedup is gated (None = every p).  map/fold
+#: speedup ratios are stable across problem sizes, so the quick CI run
+#: can be held against the committed full-size run at every p; the
+#: communication micros are gated at p = 64 only — the regime the batch
+#: charging targets — because their mid-p ratios swing with the smaller
+#: ``--quick`` sizes.
+GATED_MICROS = {
+    "map": None,
+    "fold": None,
+    "genmult": (64,),
+    "broadcast_part": (64,),
+}
 
 
 def _set_fusion(enabled: bool) -> bool:
@@ -192,12 +205,100 @@ def _micro_copy(p: int, n: int, m: int, iters: int, seed: int) -> Callable[[], f
     return run
 
 
+def _micro_genmult(p: int, n: int, m: int, iters: int, seed: int) -> Callable[[], float]:
+    """Min-plus semiring product (the generic chunked path, not BLAS) on
+    a square torus — exercises the batched rotations and per-rank-batched
+    semiring reductions.  The matrix side is ``m // 4`` (divisible by
+    every torus grid in MICRO_PS): small per-processor partitions, the
+    communication/orchestration-bound regime of Gentleman's algorithm
+    that the rotation fusion targets (cf. the paper's 64-transputer
+    shortest-paths runs)."""
+    from repro.arrays.darray import DistArray
+    from repro.machine.machine import DISTR_TORUS2D
+    from repro.skeletons import MIN, PLUS
+
+    side = m // 4
+    ctx = _micro_ctx(p)
+    a = DistArray.from_global(
+        ctx.machine, _seed_data((side, side), seed) + 2.0, DISTR_TORUS2D
+    )
+    b = DistArray.from_global(
+        ctx.machine, _seed_data((side, side), seed + 1) + 2.0, DISTR_TORUS2D
+    )
+    c = DistArray.from_global(ctx.machine, np.zeros((side, side)), DISTR_TORUS2D)
+    reps = max(1, iters - 3)
+
+    def run() -> float:
+        for _ in range(reps):
+            ctx.array_gen_mult(a, b, MIN, PLUS, c)
+        return ctx.machine.time
+
+    return run
+
+
+def _micro_bcastpart(p: int, n: int, m: int, iters: int, seed: int) -> Callable[[], float]:
+    from repro.arrays.darray import DistArray
+
+    ctx = _micro_ctx(p)
+    arr = DistArray.from_global(ctx.machine, _seed_data((n, m), seed))
+
+    def run() -> float:
+        for i in range(iters):
+            ctx.array_broadcast_part(arr, (i % n, (i * 7) % m))
+        return ctx.machine.time
+
+    return run
+
+
+def _micro_permute(p: int, n: int, m: int, iters: int, seed: int) -> Callable[[], float]:
+    from repro.arrays.darray import DistArray
+
+    ctx = _micro_ctx(p)
+    src = DistArray.from_global(ctx.machine, _seed_data((n, m), seed))
+    dst = DistArray.from_global(ctx.machine, np.zeros((n, m)))
+
+    def shuffle(i: int) -> int:
+        return (5 * i + 3) % n
+
+    shuffle.ops = 2.0
+    shuffle.perm_vectorized = lambda ix: (5 * ix + 3) % n
+
+    def run() -> float:
+        for _ in range(iters):
+            ctx.array_permute_rows(src, shuffle, dst)
+        return ctx.machine.time
+
+    return run
+
+
+def _micro_scan(p: int, n: int, m: int, iters: int, seed: int) -> Callable[[], float]:
+    from repro.arrays.darray import DistArray
+    from repro.skeletons import PLUS
+
+    ctx = _micro_ctx(p)
+    src = DistArray.from_global(
+        ctx.machine, _seed_data((n * m,), seed) * 1e-3
+    )
+    dst = DistArray.from_global(ctx.machine, np.zeros(n * m))
+
+    def run() -> float:
+        for _ in range(iters):
+            ctx.array_scan(PLUS, src, dst)
+        return ctx.machine.time
+
+    return run
+
+
 MICROBENCHES: dict[str, Callable[[int, int, int, int, int], Callable[[], float]]] = {
     "map": _micro_map,
     "zip": _micro_zip,
     "fold": _micro_fold,
     "create": _micro_create,
     "copy": _micro_copy,
+    "genmult": _micro_genmult,
+    "broadcast_part": _micro_bcastpart,
+    "permute_rows": _micro_permute,
+    "scan": _micro_scan,
 }
 
 
@@ -381,6 +482,9 @@ def check_regressions(current: dict, committed: dict) -> list[str]:
     }
     for e in current.get("microbench", []):
         if e["name"] not in GATED_MICROS:
+            continue
+        gated_ps = GATED_MICROS[e["name"]]
+        if gated_ps is not None and e["p"] not in gated_ps:
             continue
         ref = committed_by_key.get((e["name"], e["p"]))
         if ref is None or not ref.get("speedup") or not e.get("speedup"):

@@ -36,6 +36,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 __all__ = [
     "CostModel",
     "LanguageProfile",
@@ -109,6 +111,23 @@ class CostModel:
         if self.store_and_forward:
             return hops * (self.t_hop + nbytes * self.t_byte)
         return hops * self.t_hop + nbytes * self.t_byte
+
+    def message_time_vec(self, nbytes, hops):
+        """Vectorized :meth:`message_time` over numpy arrays.
+
+        Elementwise bit-identical to the scalar method: byte counts and
+        hop counts below 2**53 convert to float64 exactly, and the same
+        multiply/add expression tree is evaluated per element.
+        """
+        nb = np.asarray(nbytes, dtype=np.float64)
+        h = np.asarray(hops, dtype=np.float64)
+        if self.store_and_forward:
+            wire = h * (self.t_hop + nb * self.t_byte)
+        else:
+            wire = h * self.t_hop + nb * self.t_byte
+        if h.size == 0 or h.min() > 0.0:
+            return wire
+        return np.where(h <= 0.0, nb * self.t_mem, wire)
 
     def with_(self, **kw) -> "CostModel":
         """Return a copy with some fields replaced (calibration helper)."""

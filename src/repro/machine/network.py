@@ -34,6 +34,10 @@ from repro.machine.trace import TraceStats
 
 __all__ = ["Network"]
 
+#: waves shorter than this are charged through the scalar loop — numpy
+#: dispatch overhead beats the vector math on runs of one or two messages
+_WAVE_MIN = 4
+
 
 class Network:
     """Per-processor clocks plus the message cost arithmetic.
@@ -85,6 +89,23 @@ class Network:
             "net.message_hops", hops, buckets=tuple(float(h) for h in range(1, 17))
         )
         m.inc(f"net.messages.{tag or 'untagged'}")
+
+    def _fold_stat_seconds(self, comm_terms, idle_terms) -> None:
+        """Fold per-message comm/idle seconds into the running stats.
+
+        ``np.add.accumulate`` is a *sequential* left fold (unlike
+        ``np.add.reduce``, which regroups pairwise), so seeding it with
+        the current accumulator reproduces the scalar ``+=`` loop's
+        rounding bit for bit.
+        """
+        stats = self.stats
+        buf = np.empty(comm_terms.shape[0] + 1, dtype=np.float64)
+        buf[0] = stats.comm_seconds
+        buf[1:] = comm_terms
+        stats.comm_seconds = float(np.add.accumulate(buf)[-1])
+        buf[0] = stats.idle_seconds
+        buf[1:] = idle_terms
+        stats.idle_seconds = float(np.add.accumulate(buf)[-1])
 
     # ------------------------------------------------------------------ helpers
     @property
@@ -195,6 +216,221 @@ class Network:
             self.timeline.add(dst, "recv", max(old_dst, arrival - wire), arrival, tag)
         return float(arrival)
 
+    # ------------------------------------------------------------------ batch
+    def p2p_batch(
+        self,
+        srcs,
+        dsts,
+        nbytes,
+        topo: VirtualTopology,
+        sync: bool = False,
+        tag: str = "p2p",
+    ) -> None:
+        """Charge a sequence of point-to-point messages.
+
+        Bit-identical to calling :meth:`p2p` once per message in order
+        (property-tested by the ``batch`` pillar of :mod:`repro.check`):
+        the sequence is split into *waves* — maximal runs in which no
+        rank appears twice in any role — whose messages are independent
+        by construction and are charged in one vectorized pass from the
+        wave-start clocks; short or conflicting runs fall back to the
+        scalar loop.  *nbytes* may be a scalar or a per-message array.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        k = int(srcs.size)
+        if k == 0:
+            return
+        if int(dsts.size) != k:
+            raise MachineError("p2p_batch src/dst arrays must have equal length")
+        nbs = np.asarray(nbytes, dtype=np.int64)
+        if nbs.ndim == 0:
+            nbs = np.full(k, int(nbs), dtype=np.int64)
+        elif int(nbs.size) != k:
+            raise MachineError("p2p_batch nbytes array must match message count")
+        lo = min(int(srcs.min()), int(dsts.min()))
+        hi = max(int(srcs.max()), int(dsts.max()))
+        if lo < 0 or hi >= self.p:
+            bad = lo if lo < 0 else hi
+            raise MachineError(
+                f"rank {bad} outside machine of {self.p} processors"
+            )
+        sl = srcs.tolist()
+        dl = dsts.tolist()
+        start = 0
+        seen: set[int] = set()
+        i = 0
+        while i < k:
+            s = sl[i]
+            d = dl[i]
+            if not seen:
+                # an empty wave may instead open a same-source *run*:
+                # consecutive async messages from one rank to pairwise
+                # distinct remote destinations (a row permutation's
+                # send pattern), charged vectorized as a prefix-sum of
+                # departures instead of one degenerate wave per message
+                j = i + 1
+                while j < k and sl[j] == s:
+                    j += 1
+                if j - i >= _WAVE_MIN and not sync:
+                    dseg = dl[i:j]
+                    if s not in dseg and len(set(dseg)) == j - i:
+                        self._p2p_run(srcs, dsts, nbs, i, j, topo, tag)
+                        start = i = j
+                        continue
+            if s in seen or d in seen:
+                self._charge_wave(srcs, dsts, nbs, start, i, topo, sync, tag)
+                seen.clear()
+                start = i
+                continue
+            seen.add(s)
+            seen.add(d)
+            i += 1
+        if start < k:
+            self._charge_wave(srcs, dsts, nbs, start, k, topo, sync, tag)
+
+    def _charge_wave(self, srcs, dsts, nbs, i0, i1, topo, sync, tag) -> None:
+        if i1 - i0 < _WAVE_MIN:
+            for i in range(i0, i1):
+                self.p2p(
+                    int(srcs[i]), int(dsts[i]), int(nbs[i]), topo, sync=sync, tag=tag
+                )
+            return
+        self._p2p_wave(srcs[i0:i1], dsts[i0:i1], nbs[i0:i1], topo, sync, tag)
+
+    def _p2p_run(self, srcs, dsts, nbs, i0, i1, topo, tag) -> None:
+        """Async messages ``i0:i1`` from one source to distinct remote
+        destinations, vectorized.
+
+        The scalar loop advances the source clock by ``t_setup`` per
+        message, so the departures are the sequential prefix sums
+        ``np.add.accumulate([old_src + t_setup, t_setup, ...])`` —
+        ``accumulate`` is a left fold, reproducing the scalar additions
+        bit for bit.  No destination repeats and none equals the source,
+        so every arrival depends only on the run-start clocks.
+        """
+        cost = self.cost
+        clocks = self.clocks
+        s = int(srcs[i0])
+        rd = dsts[i0:i1]
+        rnb = nbs[i0:i1]
+        n = i1 - i0
+        rhops = topo.hop_matrix()[s, rd]
+        wire = cost.message_time_vec(rnb, rhops)
+        old_src = float(clocks[s])
+        steps = np.full(n, cost.t_setup, dtype=np.float64)
+        steps[0] = old_src + cost.t_setup
+        departs = np.add.accumulate(steps)
+        arrival = departs + wire
+        old_dst = clocks[rd]
+        idle_c = np.maximum(0.0, arrival - old_dst)
+        clocks[rd] = np.maximum(old_dst, arrival)
+        clocks[s] = departs[-1]
+        self.stats.record_messages(
+            arrival, srcs[i0:i1], rd, rnb, rhops, tag, departs=departs
+        )
+        self._fold_stat_seconds(wire + cost.t_setup, idle_c)
+        if self.metrics is not None:
+            for nb_i, h_i in zip(rnb.tolist(), rhops.tolist()):
+                self._observe_message(nb_i, h_i, tag)
+        if self.timeline is not None:
+            tl = self.timeline
+            prev_send = old_src
+            for d, dep, arr, w, od in zip(
+                rd.tolist(),
+                departs.tolist(),
+                arrival.tolist(),
+                wire.tolist(),
+                old_dst.tolist(),
+            ):
+                tl.add(s, "send", prev_send, dep, tag)
+                prev_send = dep
+                if arr - w > od:
+                    tl.add(d, "idle", od, arr - w, tag)
+                tl.add(d, "recv", max(od, arr - w), arr, tag)
+
+    def _p2p_wave(self, srcs, dsts, nbs, topo, sync, tag) -> None:
+        """One conflict-free wave, vectorized.
+
+        Every rank appears in at most one message, so each message's
+        clock arithmetic depends only on the wave-start clocks and the
+        per-message expressions match the scalar :meth:`p2p` ones
+        operation for operation.  Stats floats are still accumulated by
+        a per-message left-fold so the running sums keep the scalar
+        rounding behaviour.
+        """
+        cost = self.cost
+        clocks = self.clocks
+        k = int(srcs.size)
+        hops = topo.hop_matrix()[srcs, dsts]
+        local = srcs == dsts
+        remote = ~local
+        comm_c = np.empty(k, dtype=np.float64)
+        idle_c = np.zeros(k, dtype=np.float64)
+        if local.any():
+            ls = srcs[local]
+            t_loc = nbs[local].astype(np.float64) * cost.t_mem
+            old_loc = clocks[ls]
+            if self.timeline is not None:
+                for s, t0, t in zip(
+                    ls.tolist(), old_loc.tolist(), t_loc.tolist()
+                ):
+                    if t > 0.0:
+                        self.timeline.add(
+                            s, "compute", t0, t0 + t, detail="local-copy"
+                        )
+            clocks[ls] = old_loc + t_loc
+            comm_c[local] = t_loc
+        if remote.any():
+            rs = srcs[remote]
+            rd = dsts[remote]
+            rnb = nbs[remote]
+            rhops = hops[remote]
+            old_src = clocks[rs]
+            old_dst = clocks[rd]
+            wire = cost.message_time_vec(rnb, rhops)
+            depart = old_src + cost.t_setup
+            arrival = depart + wire
+            if sync:
+                depart = np.maximum(depart, old_dst)
+                arrival = depart + wire
+                idle_c[remote] = np.maximum(0.0, arrival - old_dst - wire)
+                clocks[rs] = arrival
+                clocks[rd] = arrival
+                new_src = arrival
+            else:
+                clocks[rs] = depart
+                idle_c[remote] = np.maximum(0.0, arrival - old_dst)
+                clocks[rd] = np.maximum(old_dst, arrival)
+                new_src = depart
+            comm_c[remote] = wire + cost.t_setup
+            self.stats.record_messages(
+                arrival, rs, rd, rnb, rhops, tag, departs=depart
+            )
+            if self.metrics is not None:
+                for nb_i, h_i in zip(rnb.tolist(), rhops.tolist()):
+                    self._observe_message(nb_i, h_i, tag)
+            if self.timeline is not None:
+                tl = self.timeline
+                for s, d, t_old_s, t_old_d, t_new_s, arr, w in zip(
+                    rs.tolist(),
+                    rd.tolist(),
+                    old_src.tolist(),
+                    old_dst.tolist(),
+                    new_src.tolist(),
+                    arrival.tolist(),
+                    wire.tolist(),
+                ):
+                    tl.add(s, "send", t_old_s, t_new_s, tag)
+                    if arr - w > t_old_d:
+                        tl.add(d, "idle", t_old_d, arr - w, tag)
+                    tl.add(d, "recv", max(t_old_d, arr - w), arr, tag)
+        # left-fold the float accumulators in message order so the
+        # running sums round exactly like the scalar loop's; local
+        # messages contribute no idle term, and their +0.0 entries in
+        # idle_c are fold-neutral (the accumulator is never -0.0)
+        self._fold_stat_seconds(comm_c, idle_c)
+
     # ------------------------------------------------------------------ shift
     def shift(
         self,
@@ -216,69 +452,116 @@ class Network:
         pairs = list(pairs)
         srcs = [s for s, _ in pairs]
         dsts = [d for _, d in pairs]
-        if len(set(srcs)) != len(srcs) or len(set(dsts)) != len(dsts):
+        if not pairs:
+            return
+        if np.isscalar(nbytes):
+            nbs = np.full(len(pairs), int(nbytes), dtype=np.int64)
+        else:
+            nbs = np.fromiter(
+                (int(nbytes[s]) for s in srcs), dtype=np.int64, count=len(srcs)
+            )
+        self.shift_batch(
+            np.asarray(srcs, dtype=np.int64),
+            np.asarray(dsts, dtype=np.int64),
+            nbs,
+            topo,
+            sync=sync,
+            tag=tag,
+        )
+
+    def shift_batch(
+        self,
+        srcs,
+        dsts,
+        nbytes,
+        topo: VirtualTopology,
+        sync: bool = False,
+        tag: str = "shift",
+    ) -> None:
+        """Vectorized :meth:`shift` over parallel (src, dst, nbytes) arrays.
+
+        The asynchronous case is inherently parallel — every transfer
+        departs from the pre-shift clocks — so all clock updates, hop
+        lookups (memoized hop matrix), wire times and contention factors
+        are computed in one vectorized pass; the rendezvous case is
+        order-dependent (a node that both sends and receives serializes)
+        and replays the scalar pair loop.  Either way the result is
+        bit-identical to the original per-pair loop.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        k = int(srcs.size)
+        if k == 0:
+            return
+        nbs = np.asarray(nbytes, dtype=np.int64)
+        if nbs.ndim == 0:
+            nbs = np.full(k, int(nbs), dtype=np.int64)
+        if len(set(srcs.tolist())) != k or len(set(dsts.tolist())) != k:
             raise MachineError("shift pairs must be disjoint per side")
-
-        def nb(s: int) -> int:
-            if np.isscalar(nbytes):
-                return int(nbytes)
-            return int(nbytes[s])
-
         old = self.clocks.copy()
+        cost = self.cost
         if sync:
             # rendezvous on every edge; a processor that both sends and
             # receives does so serially (no DMA overlap on the old code
             # path), so it pays for two transfers after synchronising
             # with both partners.
-            for s, d in pairs:
-                start = max(old[s], old[d]) + self.cost.t_setup
+            src_set = set(srcs.tolist())
+            for s, d, nb_s in zip(srcs.tolist(), dsts.tolist(), nbs.tolist()):
+                start = max(old[s], old[d]) + cost.t_setup
                 hops = topo.edge_hops(s, d)
-                wire = self.cost.message_time(nb(s), hops)
+                wire = cost.message_time(nb_s, hops)
                 finish = start + wire
                 self.clocks[s] = max(self.clocks[s], finish)
                 self.clocks[d] = max(self.clocks[d], finish) + (
-                    wire if d in srcs else 0.0
+                    wire if d in src_set else 0.0
                 )
                 self.stats.record_message(
-                    finish, s, d, nb(s), hops, tag, depart=start
+                    finish, s, d, nb_s, hops, tag, depart=start
                 )
-                self.stats.comm_seconds += wire + self.cost.t_setup
-                self.stats.idle_seconds += max(0.0, start - self.cost.t_setup - old[d])
+                self.stats.comm_seconds += wire + cost.t_setup
+                self.stats.idle_seconds += max(0.0, start - cost.t_setup - old[d])
                 if self.metrics is not None:
-                    self._observe_message(nb(s), hops, tag)
+                    self._observe_message(nb_s, hops, tag)
                 if self.timeline is not None:
                     self.timeline.add(s, "send", float(old[s]), finish, tag)
                     self.timeline.add(d, "recv", float(old[d]), finish, tag)
-        else:
-            depart = {s: old[s] + self.cost.t_setup for s, _ in pairs}
-            new = self.clocks.copy()
-            for s, _ in pairs:
-                new[s] = max(new[s], depart[s])
-            slowdown = self._contention_factors(pairs, nb, topo)
-            for s, d in pairs:
-                hops = topo.edge_hops(s, d)
-                wire = self.cost.message_time(nb(s), hops) * slowdown.get(
-                    (s, d), 1.0
-                )
-                arrival = depart[s] + wire
-                self.stats.idle_seconds += max(0.0, arrival - old[d])
-                new[d] = max(new[d], arrival)
-                self.stats.record_message(
-                    arrival, s, d, nb(s), hops, tag, depart=depart[s]
-                )
-                self.stats.comm_seconds += wire + self.cost.t_setup
-                if self.metrics is not None:
-                    self._observe_message(nb(s), hops, tag)
-                if self.timeline is not None:
-                    self.timeline.add(s, "send", float(old[s]), depart[s], tag)
-                    if arrival - wire > old[d]:
-                        self.timeline.add(d, "idle", float(old[d]), arrival - wire, tag)
-                    self.timeline.add(
-                        d, "recv", max(float(old[d]), arrival - wire), arrival, tag
-                    )
-            self.clocks = new
+            return
+        new = self.clocks.copy()
+        hops = topo.hop_matrix()[srcs, dsts]
+        departs = old[srcs] + cost.t_setup
+        new[srcs] = np.maximum(new[srcs], departs)
+        wire = cost.message_time_vec(nbs, hops)
+        if self.link_contention:
+            wire = wire * self._contention_factors(srcs, dsts, nbs, topo)
+        arrival = departs + wire
+        old_dst = old[dsts]
+        idle_c = np.maximum(0.0, arrival - old_dst)
+        new[dsts] = np.maximum(new[dsts], arrival)
+        self.stats.record_messages(
+            arrival, srcs, dsts, nbs, hops, tag, departs=departs
+        )
+        # left-fold the float accumulators in pair order (scalar rounding)
+        self._fold_stat_seconds(wire + cost.t_setup, idle_c)
+        if self.metrics is not None:
+            for nb_i, h_i in zip(nbs.tolist(), hops.tolist()):
+                self._observe_message(nb_i, h_i, tag)
+        if self.timeline is not None:
+            tl = self.timeline
+            for s, d, dep, arr, w, od in zip(
+                srcs.tolist(),
+                dsts.tolist(),
+                departs.tolist(),
+                arrival.tolist(),
+                wire.tolist(),
+                old_dst.tolist(),
+            ):
+                tl.add(s, "send", float(old[s]), dep, tag)
+                if arr - w > od:
+                    tl.add(d, "idle", od, arr - w, tag)
+                tl.add(d, "recv", max(od, arr - w), arr, tag)
+        self.clocks = new
 
-    def _contention_factors(self, pairs, nb, topo: VirtualTopology) -> dict:
+    def _contention_factors(self, srcs, dsts, nbs, topo: VirtualTopology):
         """Per-transfer slowdown from shared directed hardware links.
 
         A transfer's factor is the worst byte-load ratio among the links
@@ -286,23 +569,30 @@ class Network:
         transfer's bytes in total, the transfer runs 3x slower on it —
         an upper-bound approximation of store-and-forward serialization.
         Only computed when :attr:`link_contention` is enabled.
+
+        Link keys are the integer-id route arrays memoized on the
+        topology (:meth:`VirtualTopology.route_link_ids`) and loads are
+        accumulated into one flat array — no per-call dictionaries.  The
+        factors equal the historical dict-based computation bit-for-bit:
+        integer byte loads are exact, and the max of per-link quotients
+        equals the quotient of the max load for a shared positive
+        divisor (IEEE division is monotone).
         """
-        if not self.link_contention:
-            return {}
-        link_load: dict[tuple[int, int], int] = {}
-        routes: dict[tuple[int, int], list[tuple[int, int]]] = {}
-        for s, d in pairs:
-            route = topo.mesh.route_links(topo.place(s), topo.place(d))
-            routes[(s, d)] = route
-            for link in route:
-                link_load[link] = link_load.get(link, 0) + nb(s)
-        factors: dict[tuple[int, int], float] = {}
-        for s, d in pairs:
-            own = max(1, nb(s))
-            worst = max(
-                (link_load[link] / own for link in routes[(s, d)]), default=1.0
-            )
-            factors[(s, d)] = max(1.0, worst)
+        sl = srcs.tolist()
+        dl = dsts.tolist()
+        nl = nbs.tolist()
+        routes = [topo.route_link_ids(s, d) for s, d in zip(sl, dl)]
+        factors = np.ones(len(sl), dtype=np.float64)
+        lens = [int(r.size) for r in routes]
+        if not any(lens):
+            return factors
+        all_ids = np.concatenate(routes)
+        loads = np.zeros(topo.mesh.p * topo.mesh.p, dtype=np.int64)
+        np.add.at(loads, all_ids, np.repeat(np.asarray(nl, dtype=np.int64), lens))
+        for i, route in enumerate(routes):
+            if lens[i]:
+                own = max(1, nl[i])
+                factors[i] = max(1.0, float(loads[route].max()) / own)
         return factors
 
     # ------------------------------------------------------------------ trees
@@ -314,14 +604,29 @@ class Network:
         sync: bool = False,
         tag: str = "bcast",
     ) -> None:
-        """Binomial-tree broadcast of *nbytes* from *root* to everyone."""
+        """Binomial-tree broadcast of *nbytes* from *root* to everyone.
+
+        Each binomial round touches every rank at most once, so the
+        whole round is one conflict-free :meth:`p2p_batch` wave —
+        ``log2(p)`` batched charges instead of ``p - 1`` scalar ones.
+        """
         self._check_rank(root)
         if self.p == 1:
             return
         tree = BinomialTree(topo.mesh, root=root)
         for rnd in tree.broadcast_rounds():
+            self._round_batch(rnd, nbytes, topo, sync, tag)
+
+    def _round_batch(self, rnd, nbytes, topo, sync, tag) -> None:
+        """Charge one disjoint round of (src, dst) edges."""
+        if len(rnd) < _WAVE_MIN:
             for s, d in rnd:
                 self.p2p(s, d, nbytes, topo, sync=sync, tag=tag)
+            return
+        k = len(rnd)
+        srcs = np.fromiter((s for s, _ in rnd), dtype=np.int64, count=k)
+        dsts = np.fromiter((d for _, d in rnd), dtype=np.int64, count=k)
+        self.p2p_batch(srcs, dsts, nbytes, topo, sync=sync, tag=tag)
 
     def reduce(
         self,
@@ -342,10 +647,32 @@ class Network:
             return
         tree = BinomialTree(topo.mesh, root=root)
         for rnd in tree.reduce_rounds():
-            for s, d in rnd:
-                self.p2p(s, d, nbytes, topo, sync=sync, tag=tag)
-                if combine_seconds:
-                    self.compute_at(d, combine_seconds)
+            if self.balance_compute:
+                # the what-if replay spreads every combine over all
+                # clocks, so the per-edge interleaving matters — replay
+                # the scalar order exactly
+                for s, d in rnd:
+                    self.p2p(s, d, nbytes, topo, sync=sync, tag=tag)
+                    if combine_seconds:
+                        self.compute_at(d, combine_seconds)
+                continue
+            self._round_batch(rnd, nbytes, topo, sync, tag)
+            if combine_seconds:
+                # ranks in a round are disjoint, so merging after the
+                # round's messages touches the same clocks in the same
+                # per-rank order as the interleaved scalar loop
+                if self.timeline is not None or len(rnd) < _WAVE_MIN:
+                    for _, d in rnd:
+                        self.compute_at(d, combine_seconds)
+                else:
+                    dsts = np.fromiter(
+                        (d for _, d in rnd), dtype=np.int64, count=len(rnd)
+                    )
+                    self.clocks[dsts] += combine_seconds
+                    cps = self.stats.compute_seconds
+                    for _ in rnd:
+                        cps += combine_seconds
+                    self.stats.compute_seconds = cps
 
     def allreduce(
         self,

@@ -39,6 +39,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import TopologyError
 
 __all__ = [
@@ -157,9 +159,13 @@ class VirtualTopology:
     def __init__(self, mesh: Mesh2D):
         self.mesh = mesh
         # hop counts are pure in (src, dst) for a given embedding, and
-        # topology objects are cached on the Machine — memoize them so the
-        # per-message hot path stops re-deriving coordinates
-        self._edge_hops_cache: dict[tuple[int, int], int] = {}
+        # topology objects are cached on the Machine — the full (p, p)
+        # hop-distance matrix is memoized so both the scalar per-message
+        # hot path and the batched charging API read plain array entries
+        self._hop_matrix: np.ndarray | None = None
+        # directed hardware link ids of every route, keyed (src, dst);
+        # built lazily for the link-contention model
+        self._route_ids_cache: dict[tuple[int, int], np.ndarray] = {}
 
     @property
     def p(self) -> int:
@@ -172,14 +178,57 @@ class VirtualTopology:
         """
         return logical
 
+    def place_vector(self) -> np.ndarray:
+        """Hardware rank of every logical rank as an int64 array."""
+        return np.fromiter(
+            (self.place(r) for r in range(self.p)), dtype=np.int64, count=self.p
+        )
+
+    def hop_matrix(self) -> np.ndarray:
+        """Memoized ``(p, p)`` matrix of hardware hops per logical edge.
+
+        ``hop_matrix()[s, d] == mesh.hops(place(s), place(d))`` — the
+        Manhattan distance of the dimension-ordered route between the
+        placed nodes.  Computed vectorized once per topology object and
+        returned read-only; the scalar :meth:`edge_hops` and the batched
+        ``Network`` charging API both index into it.
+        """
+        if self._hop_matrix is None:
+            placed = self.place_vector()
+            rows, cols = np.divmod(placed, self.mesh.cols)
+            hops = np.abs(rows[:, None] - rows[None, :]) + np.abs(
+                cols[:, None] - cols[None, :]
+            )
+            hops.setflags(write=False)
+            self._hop_matrix = hops
+        return self._hop_matrix
+
     def edge_hops(self, src: int, dst: int) -> int:
         """Hardware hops for a message on the logical edge *src*→*dst*."""
+        if not (0 <= src < self.p and 0 <= dst < self.p):
+            raise TopologyError(
+                f"edge ({src},{dst}) outside topology of {self.p} ranks"
+            )
+        return int(self.hop_matrix()[src, dst])
+
+    def route_link_ids(self, src: int, dst: int) -> np.ndarray:
+        """Directed hardware link ids of the logical edge's route.
+
+        Link ``(u, v)`` is encoded as ``u * mesh.p + v``; the arrays are
+        memoized per logical edge (read-only) so the contention model can
+        histogram link loads without rebuilding per-call dictionaries.
+        """
         key = (src, dst)
-        hops = self._edge_hops_cache.get(key)
-        if hops is None:
-            hops = self.mesh.hops(self.place(src), self.place(dst))
-            self._edge_hops_cache[key] = hops
-        return hops
+        ids = self._route_ids_cache.get(key)
+        if ids is None:
+            links = self.mesh.route_links(self.place(src), self.place(dst))
+            mp = self.mesh.p
+            ids = np.fromiter(
+                (u * mp + v for (u, v) in links), dtype=np.int64, count=len(links)
+            )
+            ids.setflags(write=False)
+            self._route_ids_cache[key] = ids
+        return ids
 
     def edges(self) -> Iterator[tuple[int, int]]:  # pragma: no cover - abstract
         raise NotImplementedError

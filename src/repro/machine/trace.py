@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["MessageRecord", "TraceStats"]
 
 
@@ -73,6 +75,49 @@ class TraceStats:
             self.records.append(
                 MessageRecord(time, src, dst, nbytes, hops, tag, depart)
             )
+
+    def record_messages(
+        self,
+        times,
+        srcs,
+        dsts,
+        nbytes,
+        hops,
+        tag: str = "",
+        departs=None,
+    ) -> None:
+        """Batched :meth:`record_message` over parallel sequences.
+
+        Counter totals are exact integer sums, so they match the
+        per-message increments bit-for-bit; per-message records are
+        appended in sequence order when ``keep_records`` is set.
+        """
+        k = len(srcs)
+        self.messages += k
+        if isinstance(nbytes, np.ndarray):
+            self.bytes_sent += int(nbytes.sum(dtype=np.int64))
+        else:
+            self.bytes_sent += int(sum(int(nb) for nb in nbytes))
+        if isinstance(hops, np.ndarray):
+            self.hops_crossed += int(hops.sum(dtype=np.int64))
+        else:
+            self.hops_crossed += int(sum(int(h) for h in hops))
+        if self.keep_records:
+            if departs is None:
+                departs = [-1.0] * k
+            append = self.records.append
+            for i in range(k):
+                append(
+                    MessageRecord(
+                        float(times[i]),
+                        int(srcs[i]),
+                        int(dsts[i]),
+                        int(nbytes[i]),
+                        int(hops[i]),
+                        tag,
+                        float(departs[i]),
+                    )
+                )
 
     def merge(self, other: "TraceStats") -> None:
         """Fold another stats object into this one (multi-phase runs).

@@ -15,6 +15,15 @@ partition broadcast.
 ``array_permute_rows`` applies only to 2-dimensional arrays and requires
 a *bijective* function on ``{0, ..., n-1}``, "otherwise a run-time error
 occurs" — reproduced here as :class:`~repro.errors.SkeletonError`.
+
+Fused data movement (see docs/PERFORMANCE.md): on pooled block arrays
+the broadcast is one broadcasting slice assignment over the
+grid-interleaved pool view, and the row permutation is one fancy-index
+gather ``to.pool[perm] = from.pool`` with the per-(src, dst) message
+sizes histogrammed vectorized.  Both charge the identical analytic cost
+(same pair order, same arithmetic) through ``Network.p2p_batch``, so
+simulated seconds, per-rank clocks and trace spans are bit-identical to
+the per-rank loops.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ import numpy as np
 from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
 from repro.skeletons.base import ops_of, skeleton_span
+from repro.skeletons.fuse import interleaved_view
 
 __all__ = ["array_broadcast_part", "array_permute_rows", "array_rotate_rows"]
 
@@ -37,15 +47,27 @@ def array_broadcast_part(ctx, a: DistArray, ix) -> None:
     ctx.check_block_distribution("array_broadcast_part", a)
     owner = a.owner(tuple(int(i) for i in ix))
     block = a.local(owner)
-    for r in range(ctx.p):
-        if r == owner:
-            continue
-        if a.local(r).shape != block.shape:
-            raise SkeletonError(
-                "array_broadcast_part requires equally sized partitions "
-                f"(rank {r} holds {a.local(r).shape}, owner holds {block.shape})"
-            )
-        a.local(r)[...] = block
+    view = None
+    if ctx.fused and a.pool is not None:
+        # equal partitions iff every dimension divides evenly over the
+        # grid, which is exactly when the interleaved view exists
+        view = interleaved_view(a.pool, a.dist.grid)
+    if view is not None:
+        src = block.copy()  # the owner slot is part of the target view
+        expand = tuple(
+            s for b in src.shape for s in (1, b)
+        )
+        view[...] = src.reshape(expand)
+    else:
+        for r in range(ctx.p):
+            if r == owner:
+                continue
+            if a.local(r).shape != block.shape:
+                raise SkeletonError(
+                    "array_broadcast_part requires equally sized partitions "
+                    f"(rank {r} holds {a.local(r).shape}, owner holds {block.shape})"
+                )
+            a.local(r)[...] = block
     topo = ctx.machine.topology(a.distr)
     ctx.net.broadcast(
         owner, ctx.wire_bytes(block.nbytes), topo, sync=ctx.sync(), tag="bcast-part"
@@ -55,6 +77,139 @@ def array_broadcast_part(ctx, a: DistArray, ix) -> None:
 def _row_segment_owner(arr: DistArray, row: int, col_lo: int) -> int:
     """Rank owning the segment of *row* starting at column *col_lo*."""
     return arr.owner((row, col_lo))
+
+
+def _evaluate_perm(ctx, perm_f, n_rows: int) -> np.ndarray:
+    """Evaluate the permutation function over every row index.
+
+    Functions may opt into vectorized evaluation by carrying a
+    ``perm_vectorized`` attribute (an array→array version of
+    themselves); plain functions are applied row by row exactly as
+    before.  The bijection check is the same either way.
+    """
+    pv = getattr(perm_f, "perm_vectorized", None)
+    if ctx.fused and pv is not None:
+        perm = np.asarray(pv(np.arange(n_rows)), dtype=np.intp)
+        if perm.shape != (n_rows,):
+            raise SkeletonError(
+                "array_permute_rows: perm_vectorized returned shape "
+                f"{perm.shape}, expected ({n_rows},)"
+            )
+    else:
+        perm = np.fromiter(
+            (int(perm_f(i)) for i in range(n_rows)), dtype=np.intp, count=n_rows
+        )
+    if not np.array_equal(np.sort(perm), np.arange(n_rows)):
+        raise SkeletonError(
+            "array_permute_rows: the permutation function is not a bijection "
+            f"on {{0,...,{n_rows - 1}}} (run-time error, as in the paper)"
+        )
+    return perm
+
+
+def _pair_bytes_fused(
+    from_arr: DistArray, to_arr: DistArray, perm: np.ndarray, p: int
+) -> list[tuple[tuple[int, int], int]]:
+    """Vectorized per-(src, dst) message-byte histogram.
+
+    Reproduces the per-row accumulation loop exactly: every
+    ``(row, source column block)`` segment contributes its byte count to
+    the pair ``(owner of the source segment, owner of the permuted
+    destination segment)``.  Integer sums are order-free, so the totals
+    —and the set of pairs, including zero-byte ones — match the scalar
+    dict bit for bit.
+    """
+    g1f = from_arr.dist.grid[1]
+    g1t = to_arr.dist.grid[1]
+    from_ov0 = from_arr.dist.owner_vectors()[0]
+    to_ov0, to_ov1 = to_arr.dist.owner_vectors()
+    col_lo = np.empty(g1f, dtype=np.int64)
+    col_hi = np.empty(g1f, dtype=np.int64)
+    for b in range(g1f):
+        bb = from_arr.part_bounds(b)  # grid coords (0, b) -> rank b
+        col_lo[b] = bb.lower[1]
+        col_hi[b] = bb.upper[1]
+    seg_bytes = (col_hi - col_lo) * from_arr.dtype.itemsize
+    blocks = np.arange(g1f)
+    src = np.asarray(from_ov0, dtype=np.int64)[:, None] * g1f + blocks[None, :]
+    dst = (
+        np.asarray(to_ov0, dtype=np.int64)[perm][:, None] * g1t
+        + np.asarray(to_ov1, dtype=np.int64)[col_lo][None, :]
+    )
+    sums = np.zeros((p, p), dtype=np.int64)
+    np.add.at(sums, (src, dst), np.broadcast_to(seg_bytes[None, :], src.shape))
+    present = np.zeros((p, p), dtype=bool)
+    present[src, dst] = True
+    sd = np.argwhere(present)  # row-major == sorted by (src, dst)
+    return sd[:, 0], sd[:, 1], sums[sd[:, 0], sd[:, 1]]
+
+
+def _charge_pairs_fused(ctx, srcs, dsts, nbs, topo) -> None:
+    """Array variant of :func:`_charge_pairs`.
+
+    Identical charging sequence: the sorted pair list is cut at every
+    local (src == dst) pair — a memory copy on the owner — and each
+    remote stretch goes through ``Network.p2p_batch`` in one call, the
+    same flush boundaries the list loop produces.
+    """
+    t_mem = ctx.machine.cost.t_mem
+    sync = ctx.sync()
+    # int() truncation of the scalar wire_bytes == astype toward zero
+    factor = ctx.profile.comm_byte_factor
+    wire_nb = (nbs * factor).astype(np.int64)
+    loc = np.flatnonzero(srcs == dsts)
+    start = 0
+    for li in loc.tolist():
+        if li > start:
+            ctx.net.p2p_batch(
+                srcs[start:li], dsts[start:li], wire_nb[start:li],
+                topo, sync=sync, tag="permute-rows",
+            )
+        ctx.net.compute_at(int(srcs[li]), int(nbs[li]) * t_mem)
+        start = li + 1
+    if start < int(srcs.size):
+        ctx.net.p2p_batch(
+            srcs[start:], dsts[start:], wire_nb[start:],
+            topo, sync=sync, tag="permute-rows",
+        )
+
+
+def _charge_pairs(ctx, pair_items, topo) -> None:
+    """Charge the sorted (src, dst) message list.
+
+    Local pairs are memory copies on the owner; consecutive runs of
+    remote pairs are charged through ``Network.p2p_batch``, which is
+    bit-identical to the historical per-pair ``p2p`` loop.
+    """
+    t_mem = ctx.machine.cost.t_mem
+    sync = ctx.sync()
+    run_s: list[int] = []
+    run_d: list[int] = []
+    run_nb: list[int] = []
+
+    def flush() -> None:
+        if run_s:
+            ctx.net.p2p_batch(
+                np.asarray(run_s, dtype=np.int64),
+                np.asarray(run_d, dtype=np.int64),
+                np.asarray(run_nb, dtype=np.int64),
+                topo,
+                sync=sync,
+                tag="permute-rows",
+            )
+            run_s.clear()
+            run_d.clear()
+            run_nb.clear()
+
+    for (s, d), nbytes in pair_items:
+        if s == d:
+            flush()
+            ctx.net.compute_at(s, nbytes * t_mem)
+        else:
+            run_s.append(s)
+            run_d.append(d)
+            run_nb.append(ctx.wire_bytes(nbytes))
+    flush()
 
 
 @skeleton_span("array_permute_rows")
@@ -70,39 +225,40 @@ def array_permute_rows(
         raise SkeletonError("array_permute_rows: source and target must differ")
 
     n_rows = from_arr.shape[0]
-    perm = [int(perm_f(i)) for i in range(n_rows)]
-    if sorted(perm) != list(range(n_rows)):
-        raise SkeletonError(
-            "array_permute_rows: the permutation function is not a bijection "
-            f"on {{0,...,{n_rows - 1}}} (run-time error, as in the paper)"
-        )
+    perm_arr = _evaluate_perm(ctx, perm_f, n_rows)
     # evaluating the permutation function costs one application per row
     # it is evaluated on (at least) the processors whose rows move
     ctx.net.compute(n_rows / ctx.p * ctx.elem_time(ops_of(perm_f)))
 
-    # group row segments into per-(src,dst) messages
-    itemsize = from_arr.dtype.itemsize
-    pair_bytes: dict[tuple[int, int], int] = defaultdict(int)
-    for src_rank in range(ctx.p):
-        b = from_arr.part_bounds(src_rank)
-        col_lo, col_hi = b.lower[1], b.upper[1]
-        seg_bytes = (col_hi - col_lo) * itemsize
-        for row in range(b.lower[0], b.upper[0]):
-            dst_rank = _row_segment_owner(to_arr, perm[row], col_lo)
-            segment = from_arr.local(src_rank)[row - b.lower[0], :]
-            db = to_arr.part_bounds(dst_rank)
-            to_arr.local(dst_rank)[perm[row] - db.lower[0], :] = segment
-            pair_bytes[(src_rank, dst_rank)] += seg_bytes
+    fused = (
+        ctx.fused and from_arr.pool is not None and to_arr.pool is not None
+    )
+    if fused:
+        # whole-array gather on the pools + vectorized byte histogram
+        to_arr.pool[perm_arr] = from_arr.pool
+        psrcs, pdsts, pnbs = _pair_bytes_fused(from_arr, to_arr, perm_arr, ctx.p)
+        topo = ctx.machine.topology(from_arr.distr)
+        _charge_pairs_fused(ctx, psrcs, pdsts, pnbs, topo)
+        return
+    else:
+        # group row segments into per-(src,dst) messages
+        perm = perm_arr.tolist()
+        itemsize = from_arr.dtype.itemsize
+        pair_bytes: dict[tuple[int, int], int] = defaultdict(int)
+        for src_rank in range(ctx.p):
+            b = from_arr.part_bounds(src_rank)
+            col_lo, col_hi = b.lower[1], b.upper[1]
+            seg_bytes = (col_hi - col_lo) * itemsize
+            for row in range(b.lower[0], b.upper[0]):
+                dst_rank = _row_segment_owner(to_arr, perm[row], col_lo)
+                segment = from_arr.local(src_rank)[row - b.lower[0], :]
+                db = to_arr.part_bounds(dst_rank)
+                to_arr.local(dst_rank)[perm[row] - db.lower[0], :] = segment
+                pair_bytes[(src_rank, dst_rank)] += seg_bytes
+        pair_items = sorted(pair_bytes.items())
 
     topo = ctx.machine.topology(from_arr.distr)
-    t_mem = ctx.machine.cost.t_mem
-    for (s, d), nbytes in sorted(pair_bytes.items()):
-        if s == d:
-            ctx.net.compute_at(s, nbytes * t_mem)
-        else:
-            ctx.net.p2p(
-                s, d, ctx.wire_bytes(nbytes), topo, sync=ctx.sync(), tag="permute-rows"
-            )
+    _charge_pairs(ctx, pair_items, topo)
 
 
 def array_rotate_rows(ctx, from_arr: DistArray, shift: int, to_arr: DistArray) -> None:
@@ -117,4 +273,5 @@ def array_rotate_rows(ctx, from_arr: DistArray, shift: int, to_arr: DistArray) -
         return (i + shift) % n
 
     rot.ops = 1.0
+    rot.perm_vectorized = rot
     array_permute_rows(ctx, from_arr, rot, to_arr)

@@ -135,19 +135,39 @@ def array_scan(ctx, scan_f: Callable, a: DistArray, to_arr: DistArray) -> None:
 
     t_fold = ctx.elem_time(ops_of(scan_f))
     np_op = getattr(scan_f, "np_op", None)
-    per_rank = np.zeros(ctx.p)
-    locals_ = []
-    for r in range(ctx.p):
-        src = a.local(r)
-        if np_op is not None and src.dtype != object:
-            scanned = np_op.accumulate(src)
-        else:
-            out = list(src)
-            for i in range(1, len(out)):
-                out[i] = scan_f(out[i - 1], out[i])
-            scanned = np.asarray(out, dtype=to_arr.dtype)
-        locals_.append(scanned)
-        per_rank[r] = max(0, src.size - 1) * t_fold
+    # fused fast path (see docs/PERFORMANCE.md): with equal pooled
+    # partitions the p local scans are one batched accumulate over the
+    # (p, block) pool view — each row is scanned in the identical
+    # left-to-right element order, so contents are bit-identical
+    fused = (
+        ctx.fused
+        and np_op is not None
+        and a.pool is not None
+        and to_arr.pool is not None
+        and a.pool.dtype != object
+        and a.shape[0] % ctx.p == 0
+    )
+    if fused:
+        rows = a.pool.reshape(ctx.p, -1)
+        scanned_all = np_op.accumulate(rows, axis=1)
+        sizes = a.dist.part_sizes()
+        # the per-rank formula below, vectorized — elementwise IEEE ops
+        per_rank = np.maximum(0, sizes - 1) * t_fold
+        locals_ = list(scanned_all)
+    else:
+        per_rank = np.zeros(ctx.p)
+        locals_ = []
+        for r in range(ctx.p):
+            src = a.local(r)
+            if np_op is not None and src.dtype != object:
+                scanned = np_op.accumulate(src)
+            else:
+                out = list(src)
+                for i in range(1, len(out)):
+                    out[i] = scan_f(out[i - 1], out[i])
+                scanned = np.asarray(out, dtype=to_arr.dtype)
+            locals_.append(scanned)
+            per_rank[r] = max(0, src.size - 1) * t_fold
     ctx.net.compute(per_rank)
 
     # exclusive offsets: fold of the last local elements of lower ranks
@@ -165,6 +185,19 @@ def array_scan(ctx, scan_f: Callable, a: DistArray, to_arr: DistArray) -> None:
         ctx.wire_bytes(probe.nbytes), topo, combine_seconds=t_fold, sync=ctx.sync()
     )
 
+    off_col = None
+    if fused and ctx.p > 1:
+        off_col = np.asarray(offsets[1:])
+        if off_col.dtype != scanned_all.dtype or off_col.shape != (ctx.p - 1,):
+            # mixed promotion could differ from the per-rank scalar case
+            off_col = None
+    if fused and (ctx.p == 1 or off_col is not None):
+        to_rows = to_arr.pool.reshape(ctx.p, -1)
+        to_rows[0] = scanned_all[0]
+        if ctx.p > 1:
+            to_rows[1:] = np_op(off_col[:, None], scanned_all[1:])
+        ctx.net.compute(sizes * t_fold)
+        return
     for r in range(ctx.p):
         if offsets[r] is None:
             to_arr.local(r)[...] = locals_[r]

@@ -40,6 +40,8 @@ from __future__ import annotations
 import os
 from typing import Callable
 
+import numpy as np
+
 __all__ = [
     "FusionFallback",
     "FusedEnv",
@@ -47,6 +49,8 @@ __all__ = [
     "set_fusion_default",
     "kernel_fusability",
     "remember_fusability",
+    "interleaved_view",
+    "stacked_blocks",
 ]
 
 
@@ -125,3 +129,42 @@ def remember_fusability(vec: Callable, ok: bool) -> None:
         vec._fused_ok = bool(ok)
     except (AttributeError, TypeError):
         pass
+
+
+def interleaved_view(pool: np.ndarray, grid: tuple[int, ...]) -> np.ndarray | None:
+    """Grid-interleaved reshape of a pooled global buffer.
+
+    For a pool of global shape ``(n0, n1, ...)`` block-distributed over
+    ``grid = (g0, g1, ...)``, returns the **view** of shape
+    ``(g0, b0, g1, b1, ...)`` with ``b_d = n_d // g_d``, so that
+    ``view[c0, :, c1, :]`` is exactly the partition of grid coordinate
+    ``(c0, c1)``.  Returns ``None`` when any dimension does not divide
+    evenly (unequal partitions — callers fall back to per-rank loops).
+    """
+    if pool.ndim != len(grid):
+        return None
+    inter: list[int] = []
+    for n_d, g_d in zip(pool.shape, grid):
+        if g_d <= 0 or n_d % g_d != 0:
+            return None
+        inter.extend((g_d, n_d // g_d))
+    return pool.reshape(inter)
+
+
+def stacked_blocks(pool: np.ndarray, grid: tuple[int, ...]) -> np.ndarray | None:
+    """Contiguous ``(P, b0, b1, ...)`` **copy** of all partitions.
+
+    Partition ``r`` (row-major rank over *grid*) lands at ``out[r]``,
+    matching ``DistArray.local(r)`` element for element.  ``None`` when
+    the partitions are unequal.
+    """
+    view = interleaved_view(pool, grid)
+    if view is None:
+        return None
+    nd = len(grid)
+    # (g0, b0, g1, b1, ...) -> (g0, g1, ..., b0, b1, ...)
+    axes = tuple(range(0, 2 * nd, 2)) + tuple(range(1, 2 * nd, 2))
+    blocks = view.transpose(axes)
+    block_shape = tuple(n_d // g_d for n_d, g_d in zip(pool.shape, grid))
+    p = int(np.prod(grid)) if grid else 1
+    return np.ascontiguousarray(blocks).reshape((p, *block_shape))

@@ -48,12 +48,19 @@ from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
 from repro.machine.topology import Torus2D
 from repro.skeletons.base import ops_of, skeleton_span
+from repro.skeletons.fuse import interleaved_view, stacked_blocks
 
 __all__ = ["array_gen_mult", "semiring_block_product"]
 
 #: cap on the temporary ``(m, k_chunk, n)`` tensor built by the generic
 #: vectorized path, in elements
 _CHUNK_ELEMS = 1 << 21
+
+#: cap on the batched ``(ranks, m, k_chunk, n)`` temporary of the fused
+#: path; the k-chunking must stay identical to the per-rank path (it
+#: decides reduction boundaries), so the fused path sub-batches over
+#: ranks instead when the whole stack would not fit
+_BATCH_ELEMS = 1 << 24
 
 
 def semiring_block_product(gen_add, gen_mult, A: np.ndarray, B: np.ndarray,
@@ -90,6 +97,74 @@ def semiring_block_product(gen_add, gen_mult, A: np.ndarray, B: np.ndarray,
             for kk in range(k):
                 v = gen_add(v, gen_mult(A[i, kk], B[kk, j]))
             out[i, j] = v
+    return out
+
+
+def _can_batch_products(gen_add, gen_mult, dtype) -> bool:
+    """Whether the stacked-block product path applies (numpy kernels)."""
+    add_np = getattr(gen_add, "np_op", None)
+    add_reduce = getattr(gen_add, "np_reduce", None)
+    mul_np = getattr(gen_mult, "np_op", None)
+    if add_np is np.add and mul_np is np.multiply and dtype.kind in "fiu":
+        return True
+    return add_np is not None and add_reduce is not None and mul_np is not None
+
+
+def _semiring_block_product_batched(gen_add, gen_mult, SA, SB, SC):
+    """All-ranks :func:`semiring_block_product` over stacked blocks.
+
+    ``SA``/``SB``/``SC`` stack every rank's block along axis 0.  The
+    result is bit-identical per block to the per-rank function: the
+    classical case is the same per-slice gemm, and the generic case uses
+    the *same k-chunk boundaries* (they decide the reduce partitioning),
+    only sub-batching over ranks — elementwise multiplies and the
+    per-output reductions over the same axis length are unaffected by
+    how many ranks share a numpy call.
+    """
+    add_np = getattr(gen_add, "np_op", None)
+    add_reduce = getattr(gen_add, "np_reduce", None)
+    mul_np = getattr(gen_mult, "np_op", None)
+
+    if add_np is np.add and mul_np is np.multiply and SA.dtype.kind in "fiu":
+        return add_np(SC, SA @ SB)
+
+    ranks, m, k = SA.shape
+    n = SB.shape[2]
+
+    if (
+        add_np in (np.minimum, np.maximum)
+        and isinstance(mul_np, np.ufunc)
+        and k > 0
+    ):
+        # min/max reductions are sequential left folds (ufunc.reduce does
+        # no pairwise regrouping for them), so an in-place fold over k in
+        # index order reproduces the chunked reduce bit for bit — ties
+        # between signed zeros and NaN propagation included — while the
+        # (ranks, m, n) temporaries stay cache-resident instead of
+        # materialising the (ranks, m, k, n) tensor
+        SA_t = np.ascontiguousarray(SA.transpose(0, 2, 1))
+        term = np.empty((ranks, m, n), dtype=np.result_type(SA, SB))
+        mul_np(SA_t[:, 0, :, None], SB[:, 0, None, :], out=term)
+        out = add_np(SC, term)
+        for kk in range(1, k):
+            mul_np(SA_t[:, kk, :, None], SB[:, kk, None, :], out=term)
+            add_np(out, term, out=out)
+        return out
+    chunk = max(1, _CHUNK_ELEMS // max(1, m * n))  # same as per-rank
+    per_rank_tmp = m * min(chunk, k) * n
+    rank_chunk = max(1, _BATCH_ELEMS // max(1, per_rank_tmp))
+    out = SC
+    for k0 in range(0, k, chunk):
+        pieces = []
+        for r0 in range(0, ranks, rank_chunk):
+            r1 = r0 + rank_chunk
+            part = mul_np(
+                SA[r0:r1, :, k0 : k0 + chunk, None],
+                SB[r0:r1, None, k0 : k0 + chunk, :],
+            )
+            pieces.append(add_reduce(part, axis=2))
+        red = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+        out = add_np(out, red)
     return out
 
 
@@ -138,76 +213,143 @@ def array_gen_mult(
             "up to a multiple of the grid, as the paper does)"
         )
 
-    # working copies: the real machine rotates partitions in place and
-    # re-aligns afterwards; we keep a/b untouched and charge the
-    # alignment communication explicitly below
-    ablk = [a.local(r).copy() for r in range(ctx.p)]
-    bblk = [b.local(r).copy() for r in range(ctx.p)]
-    accum = [c.local(r).astype(c.dtype, copy=True) for r in range(ctx.p)]
-
-    nbytes_a = ctx.wire_bytes(ablk[0].nbytes)
-    nbytes_b = ctx.wire_bytes(bblk[0].nbytes)
+    # fused fast path (see docs/PERFORMANCE.md): stack every rank's
+    # block into contiguous (p, ·, ·) arrays, run the semiring products
+    # batched, and realise rotations as np.roll on the (g, g, ·, ·)
+    # views — same charging calls in the same order as the per-rank path
+    fused = (
+        ctx.fused
+        and a.pool is not None
+        and b.pool is not None
+        and c.pool is not None
+        and _can_batch_products(gen_add, gen_mult, a.pool.dtype)
+    )
+    grid = (g, g)
+    if fused:
+        # stacked copies of the blocks — the fused equivalent of the
+        # per-rank working copies below
+        sa = stacked_blocks(a.pool, grid)
+        sb = stacked_blocks(b.pool, grid)
+        sc = stacked_blocks(c.pool, grid)
+        ablk = bblk = accum = None
+        nbytes_a = ctx.wire_bytes(sa[0].nbytes)
+        nbytes_b = ctx.wire_bytes(sb[0].nbytes)
+    else:
+        # working copies: the real machine rotates partitions in place and
+        # re-aligns afterwards; we keep a/b untouched and charge the
+        # alignment communication explicitly below
+        ablk = [a.local(r).copy() for r in range(ctx.p)]
+        bblk = [b.local(r).copy() for r in range(ctx.p)]
+        accum = [c.local(r).astype(c.dtype, copy=True) for r in range(ctx.p)]
+        nbytes_a = ctx.wire_bytes(ablk[0].nbytes)
+        nbytes_b = ctx.wire_bytes(bblk[0].nbytes)
     sync = ctx.sync()
 
-    def skew_pairs(kind: str, direction: int) -> list[tuple[int, int]]:
-        """(src, dst) logical pairs moving blocks by their skew distance."""
-        pairs = []
-        for r in range(ctx.p):
-            i, j = topo.grid_coords(r)
-            if kind == "a":
-                dst = topo.grid_rank(i, j - direction * i)
-            else:
-                dst = topo.grid_rank(i - direction * j, j)
-            if dst != r:
-                pairs.append((r, dst))
-        return pairs
+    ranks = np.arange(ctx.p, dtype=np.int64)
+    row_of, col_of = np.divmod(ranks, g)
 
-    def apply_block_perm(blocks: list[np.ndarray], pairs: list[tuple[int, int]]):
-        moved = {d: blocks[s] for s, d in pairs}
+    def skew_pairs(kind: str, direction: int) -> tuple[np.ndarray, np.ndarray]:
+        """(srcs, dsts) rank arrays moving blocks by their skew distance
+        (vectorized ``grid_coords``/``grid_rank`` arithmetic, same rank
+        order and self-pair filter as the scalar loop)."""
+        if kind == "a":
+            dst = row_of * g + (col_of - direction * row_of) % g
+        else:
+            dst = ((row_of - direction * col_of) % g) * g + col_of
+        keep = dst != ranks
+        return ranks[keep], dst[keep]
+
+    def apply_block_perm(blocks: list[np.ndarray], pairs):
+        srcs, dsts = pairs
+        moved = {d: blocks[s] for s, d in zip(srcs.tolist(), dsts.tolist())}
         for d, blk in moved.items():
             blocks[d] = blk
+
+    def perm_order(pairs) -> np.ndarray:
+        """``order[d] = s`` gather indices equivalent to apply_block_perm."""
+        srcs, dsts = pairs
+        order = np.arange(ctx.p)
+        order[dsts] = srcs
+        return order
 
     # -- 1. skew ---------------------------------------------------------
     with ctx.phase("genmult:skew"):
         pa = skew_pairs("a", +1)
         pb = skew_pairs("b", +1)
-        if pa:
-            ctx.net.shift(pa, nbytes_a, topo, sync=sync, tag="genmult-skew-a")
-            apply_block_perm(ablk, pa)
-        if pb:
-            ctx.net.shift(pb, nbytes_b, topo, sync=sync, tag="genmult-skew-b")
-            apply_block_perm(bblk, pb)
+        if pa[0].size:
+            ctx.net.shift_batch(
+                pa[0], pa[1], nbytes_a, topo, sync=sync, tag="genmult-skew-a"
+            )
+            if fused:
+                sa = sa[perm_order(pa)]
+            else:
+                apply_block_perm(ablk, pa)
+        if pb[0].size:
+            ctx.net.shift_batch(
+                pb[0], pb[1], nbytes_b, topo, sync=sync, tag="genmult-skew-b"
+            )
+            if fused:
+                sb = sb[perm_order(pb)]
+            else:
+                apply_block_perm(bblk, pb)
 
     # -- 2. multiply / rotate rounds --------------------------------------
-    m_loc, k_loc = ablk[0].shape
-    n_loc = bblk[0].shape[1]
+    if fused:
+        m_loc, k_loc = sa.shape[1:]
+        n_loc = sb.shape[2]
+    else:
+        m_loc, k_loc = ablk[0].shape
+        n_loc = bblk[0].shape[1]
     t_round = (
         m_loc
         * n_loc
         * k_loc
         * (ctx.elem_time(ops_of(gen_mult)) + ctx.elem_time(ops_of(gen_add)))
     )
-    west_pairs = [(r, topo.west(r)) for r in range(ctx.p) if topo.west(r) != r]
-    north_pairs = [(r, topo.north(r)) for r in range(ctx.p) if topo.north(r) != r]
+    west_dst = row_of * g + (col_of - 1) % g
+    north_dst = ((row_of - 1) % g) * g + col_of
+    west_pairs = (ranks[west_dst != ranks], west_dst[west_dst != ranks])
+    north_pairs = (ranks[north_dst != ranks], north_dst[north_dst != ranks])
     for step in range(g):
         with ctx.phase("genmult:multiply"):
-            for r in range(ctx.p):
-                ctx.current_rank = r
-                accum[r] = semiring_block_product(
-                    gen_add, gen_mult, ablk[r], bblk[r], accum[r]
+            if fused:
+                sc = _semiring_block_product_batched(
+                    gen_add, gen_mult, sa, sb, sc
                 )
-            ctx.current_rank = None
+            else:
+                for r in range(ctx.p):
+                    ctx.current_rank = r
+                    accum[r] = semiring_block_product(
+                        gen_add, gen_mult, ablk[r], bblk[r], accum[r]
+                    )
+                ctx.current_rank = None
             ctx.net.compute(t_round)
         if step < g - 1:
             with ctx.phase("genmult:rotate"):
-                ctx.net.shift(
-                    west_pairs, nbytes_a, topo, sync=sync, tag="genmult-rot-a"
+                ctx.net.shift_batch(
+                    west_pairs[0], west_pairs[1], nbytes_a, topo, sync=sync,
+                    tag="genmult-rot-a",
                 )
-                apply_block_perm(ablk, west_pairs)
-                ctx.net.shift(
-                    north_pairs, nbytes_b, topo, sync=sync, tag="genmult-rot-b"
+                if fused:
+                    # dst (i, j-1) takes the block of (i, j): one column roll
+                    sag = sa.reshape(g, g, m_loc, k_loc)
+                    sa = np.concatenate(
+                        (sag[:, 1:], sag[:, :1]), axis=1
+                    ).reshape(ctx.p, m_loc, k_loc)
+                else:
+                    apply_block_perm(ablk, west_pairs)
+                ctx.net.shift_batch(
+                    north_pairs[0], north_pairs[1], nbytes_b, topo, sync=sync,
+                    tag="genmult-rot-b",
                 )
-                apply_block_perm(bblk, north_pairs)
+                if fused:
+                    # dst (i-1, j) takes the block of (i, j): one row roll
+                    sbg = sb.reshape(g, g, k_loc, n_loc)
+                    sb = np.concatenate(
+                        (sbg[1:], sbg[:1]), axis=0
+                    ).reshape(ctx.p, k_loc, n_loc)
+                else:
+                    apply_block_perm(bblk, north_pairs)
 
     # -- 3. unskew (restore a and b on the real machine) ------------------
     # after the initial skew and g-1 unit rotations the blocks sit one
@@ -215,12 +357,19 @@ def array_gen_mult(
     # shift per matrix, same cost class as the skew
     if g > 1:
         with ctx.phase("genmult:unskew"):
-            ctx.net.shift(
-                skew_pairs("a", -1), nbytes_a, topo, sync=sync, tag="genmult-unskew-a"
+            ua = skew_pairs("a", -1)
+            ub = skew_pairs("b", -1)
+            ctx.net.shift_batch(
+                ua[0], ua[1], nbytes_a, topo, sync=sync, tag="genmult-unskew-a"
             )
-            ctx.net.shift(
-                skew_pairs("b", -1), nbytes_b, topo, sync=sync, tag="genmult-unskew-b"
+            ctx.net.shift_batch(
+                ub[0], ub[1], nbytes_b, topo, sync=sync, tag="genmult-unskew-b"
             )
 
-    for r in range(ctx.p):
-        c.local(r)[...] = accum[r].astype(c.dtype, copy=False)
+    if fused:
+        m_c, n_c = sc.shape[1:]
+        c_view = interleaved_view(c.pool, grid)
+        c_view[...] = sc.reshape(g, g, m_c, n_c).transpose(0, 2, 1, 3)
+    else:
+        for r in range(ctx.p):
+            c.local(r)[...] = accum[r].astype(c.dtype, copy=False)

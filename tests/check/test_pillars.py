@@ -3,7 +3,7 @@ budget, and every failure path yields a replayable one-line command."""
 
 import pytest
 
-from repro.check import run_diff, run_fuzz, run_oracle
+from repro.check import run_batch, run_diff, run_fuzz, run_oracle
 from repro.check.__main__ import main
 from repro.check.report import CheckResult, Failure, format_failure, format_result
 
@@ -59,6 +59,37 @@ class TestDiffPillar:
         res = run_diff_raw(2 * 1_000_003, budget=2)
         assert res.trials == 2
         assert res.ok, format_result(res)
+
+
+class TestBatchPillar:
+    def test_small_budget_green(self):
+        res = run_batch(seed=0, budget=16)
+        assert res.ok, format_result(res)
+        assert res.trials == 16
+        # the four trial families interleave round-robin
+        assert res.coverage.get("batch.p2p", 0) == 4
+        assert res.coverage.get("batch.shift", 0) == 4
+
+    def test_raw_seed_replay(self):
+        from repro.check.netbatch import run_batch_raw
+
+        res = run_batch_raw(4 * 1_000_003 + 2, budget=2)
+        assert res.trials == 2
+        assert res.ok, format_result(res)
+
+    def test_cli_fusion_toggle_runs_both_modes(self, capsys):
+        from repro.skeletons.fuse import fusion_default, set_fusion_default
+
+        before = fusion_default()
+        try:
+            assert main(["batch", "--seed", "1", "--budget", "8",
+                         "--no-fused"]) == 0
+            assert main(["batch", "--seed", "1", "--budget", "8",
+                         "--fused"]) == 0
+        finally:
+            set_fusion_default(before)
+        out = capsys.readouterr().out
+        assert out.count("[batch]") == 2
 
 
 class TestCli:
