@@ -22,12 +22,14 @@ from repro.check.interp import Interp, InterpUnsupported
 from repro.check.netbatch import run_batch
 from repro.check.oracle import run_oracle
 from repro.check.report import CheckResult, Failure, format_failure, format_result
+from repro.check.streamcheck import run_stream
 
 __all__ = [
     "run_fuzz",
     "run_oracle",
     "run_diff",
     "run_batch",
+    "run_stream",
     "Interp",
     "InterpUnsupported",
     "CheckResult",

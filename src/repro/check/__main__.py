@@ -23,6 +23,7 @@ from repro.check.fuzz import run_fuzz, run_fuzz_raw
 from repro.check.netbatch import run_batch, run_batch_raw
 from repro.check.oracle import run_oracle, run_oracle_raw
 from repro.check.report import CheckResult, format_result
+from repro.check.streamcheck import run_stream, run_stream_raw
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,7 +34,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument(
         "pillar",
-        choices=["fuzz", "oracle", "diff", "dag", "batch", "all"],
+        choices=["fuzz", "oracle", "diff", "dag", "batch", "stream", "all"],
         nargs="?",
         default="all",
         help="which pillar to run (default: all)",
@@ -69,7 +70,7 @@ def main(argv: list[str] | None = None) -> int:
         set_fusion_default(args.fused)
 
     pillars = (
-        ["fuzz", "oracle", "diff", "dag", "batch"]
+        ["fuzz", "oracle", "diff", "dag", "batch", "stream"]
         if args.pillar == "all"
         else [args.pillar]
     )
@@ -82,6 +83,7 @@ def main(argv: list[str] | None = None) -> int:
                 "diff": run_diff_raw,
                 "dag": run_dag_raw,
                 "batch": run_batch_raw,
+                "stream": run_stream_raw,
             }[pillar]
             res = runner(args.seed, args.budget)
         else:
@@ -91,6 +93,7 @@ def main(argv: list[str] | None = None) -> int:
                 "diff": run_diff,
                 "dag": run_dag,
                 "batch": run_batch,
+                "stream": run_stream,
             }[pillar]
             res = runner(
                 args.seed,

@@ -1,0 +1,331 @@
+"""Streamed-vs-recorded aggregate equality (the ``stream`` pillar).
+
+``Machine(trace_mode="stream")`` promises that every *aggregate* it
+keeps — per-rank per-kind interval seconds and counts, per-rank message
+arrays, per-tag totals, per-skeleton attribution with online duration
+histograms — is **bit-identical** to folding a full ``trace_level=2``
+recording of the same run through the same sinks
+(:func:`repro.obs.stream.fold_recorded`).  Only the reservoir *contents*
+are exempt: the wave offer draws its random numbers in a different
+order than the scalar offer, so the two reservoirs hold different (but
+equally sized) subsets; the pillar instead checks the sampled records
+are a subset of the full recording.
+
+Every trial builds two identical machines, runs the same workload on
+both — one recording, one streaming — and compares:
+
+* the streamed observer against the record fold with
+  :func:`~repro.obs.stream.compare_observers` (bitwise arrays,
+  histograms field-by-field, span ring via dataclass equality),
+* every per-rank clock with ``==`` (streaming must not perturb the
+  simulation),
+* the stats counters exactly and the stats floats bitwise,
+* the metrics registries via their rendered exposition text,
+* reservoir ⊆ full record list.
+
+Three trial families interleave: skeleton applications (shortest paths
+/ Gaussian elimination at p ∈ {4, 16, 64}), raw network op sequences
+(scalar and batched p2p, shifts, tree collectives — the paths that
+take the vectorized ``add_many``/``on_message_wave`` branches), and
+Engine workloads (``divide_and_conquer`` / ``farm``) whose intervals
+arrive through the scalar timeline API.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import traceback
+
+import numpy as np
+
+from repro.check.report import CheckResult, Failure
+from repro.machine.machine import (
+    DISTR_DEFAULT,
+    DISTR_RING,
+    DISTR_TORUS2D,
+    Machine,
+)
+from repro.obs.metrics import isolated_metrics
+from repro.obs.stream import StreamConfig, compare_observers, fold_recorded
+from repro.skeletons import MIN, PLUS, SkilContext
+
+__all__ = ["run_stream", "run_stream_raw"]
+
+
+# ---------------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------------
+def _stats_tuple(stats):
+    return (
+        stats.messages,
+        stats.bytes_sent,
+        stats.hops_crossed,
+        stats.comm_seconds,
+        stats.idle_seconds,
+        stats.compute_seconds,
+        stats.skeleton_calls,
+    )
+
+
+def _compare_modes(m_rec: Machine, m_str: Machine, label: str) -> str | None:
+    """Record machine vs stream machine, bitwise."""
+    if not np.array_equal(m_rec.network.clocks, m_str.network.clocks):
+        i = int(np.argmax(m_rec.network.clocks != m_str.network.clocks))
+        return (
+            f"clock mismatch ({label}): rank {i} "
+            f"record={float(m_rec.network.clocks[i])!r} "
+            f"stream={float(m_str.network.clocks[i])!r}"
+        )
+    if _stats_tuple(m_rec.stats) != _stats_tuple(m_str.stats):
+        return (
+            f"stats mismatch ({label}): record={_stats_tuple(m_rec.stats)} "
+            f"stream={_stats_tuple(m_str.stats)}"
+        )
+    if m_rec.metrics is not None and m_str.metrics is not None:
+        if m_rec.metrics.render_text() != m_str.metrics.render_text():
+            return f"metrics exposition mismatch ({label})"
+    fold = fold_recorded(m_rec, m_str.stream_obs.config)
+    problems = compare_observers(fold, m_str.stream_obs)
+    if problems:
+        return f"aggregate mismatch ({label}): " + "; ".join(problems[:4])
+    recorded = set(m_rec.stats.records)
+    for rec in m_str.stream_obs.reservoir.items:
+        if rec not in recorded:
+            return f"reservoir sampled an unrecorded message ({label}): {rec}"
+    try:
+        m_str.stream_obs.assert_bounded()
+    except Exception as exc:
+        return f"stream accounting unbounded ({label}): {exc}"
+    return None
+
+
+def _machine_pair(p: int, rng: random.Random) -> tuple[Machine, Machine]:
+    cfg = StreamConfig(
+        sample_size=rng.choice([8, 64, 1024]),
+        ring_size=rng.choice([4, 256]),
+        seed=rng.randrange(2**31),
+    )
+    m_rec = Machine(p, trace_level=2)
+    m_str = Machine(p, trace_level=2, trace_mode="stream", stream=cfg)
+    return m_rec, m_str
+
+
+# ---------------------------------------------------------------------------
+# trial families
+# ---------------------------------------------------------------------------
+def trial_stream_app(rng: random.Random) -> tuple[str | None, dict[str, int]]:
+    """A full skeleton application, recorded vs streamed."""
+    app = rng.choice(["shpaths", "shpaths", "gauss"])
+    if app == "shpaths":
+        p = rng.choice([4, 4, 16, 16, 64])
+        side = int(round(p**0.5))
+        n = side * rng.randint(1, 2 if p == 64 else 3)
+    else:
+        p = rng.choice([4, 4, 16])
+        n = p * rng.randint(2, 3)
+    seed = rng.randrange(2**31)
+    cov = {f"stream.app_{app}": 1, f"stream.p{p}": 1}
+
+    def run(machine: Machine) -> None:
+        ctx = SkilContext(machine)
+        if app == "shpaths":
+            from repro.apps.shortest_paths import (
+                random_distance_matrix,
+                shpaths,
+            )
+
+            shpaths(ctx, random_distance_matrix(n, density=0.3, seed=seed))
+        else:
+            from repro.apps.gauss import gauss_simple, random_system
+
+            a_mat, rhs = random_system(n, seed=seed)
+            gauss_simple(ctx, a_mat, rhs)
+
+    m_rec, m_str = _machine_pair(p, rng)
+    with isolated_metrics():
+        run(m_rec)
+    with isolated_metrics():
+        run(m_str)
+    return _compare_modes(m_rec, m_str, f"{app} p={p} n={n}"), cov
+
+
+def trial_stream_netops(rng: random.Random) -> tuple[str | None, dict[str, int]]:
+    """A random raw network op sequence, recorded vs streamed.
+
+    Exercises the vectorized wave branches (``p2p_batch``, batched
+    shifts, round-batched collectives) against their record-mode
+    interval/record loops, plus scalar ops that go through the stream
+    timeline's scalar ``add``.
+    """
+    p = rng.choice([4, 8, 16, 64])
+    distr = rng.choice([DISTR_DEFAULT, DISTR_RING, DISTR_TORUS2D])
+    n_ops = rng.randint(1, 12)
+    ops = []
+    for _ in range(n_ops):
+        kind = rng.choice(
+            ["compute", "p2p", "p2p_batch", "shift", "bcast", "reduce",
+             "allreduce"]
+        )
+        if kind == "compute":
+            ops.append(("compute", [rng.uniform(0.0, 1e-5) for _ in range(p)]))
+        elif kind == "p2p":
+            ops.append((
+                "p2p", rng.randrange(p), rng.randrange(p),
+                rng.choice([0, 1, rng.randint(1, 4096)]),
+                rng.random() < 0.4,
+            ))
+        elif kind == "p2p_batch":
+            k = rng.randint(1, 24)
+            ops.append((
+                "p2p_batch",
+                [rng.randrange(p) for _ in range(k)],
+                [rng.randrange(p) for _ in range(k)],
+                [rng.choice([0, 1, rng.randint(1, 4096)]) for _ in range(k)],
+                rng.random() < 0.4,
+            ))
+        elif kind == "shift":
+            ranks = list(range(p))
+            rng.shuffle(ranks)
+            perm = ranks[: rng.randint(1, p)]
+            pairs = list(zip(perm, perm[1:] + perm[:1]))
+            ops.append(("shift", pairs, rng.randint(1, 2048),
+                        rng.random() < 0.4))
+        elif kind == "bcast":
+            ops.append(("bcast", rng.randrange(p), rng.randint(1, 4096)))
+        elif kind == "reduce":
+            ops.append(("reduce", rng.randrange(p), rng.randint(1, 4096),
+                        rng.choice([0.0, 1e-6])))
+        else:
+            ops.append(("allreduce", rng.randint(1, 4096),
+                        rng.choice([0.0, 1e-6])))
+    cov = {f"stream.net_{op[0]}": 1 for op in ops}
+    cov[f"stream.p{p}"] = 1
+
+    def run(machine: Machine) -> None:
+        net = machine.network
+        topo = machine.topology(distr)
+        for op in ops:
+            if op[0] == "compute":
+                net.compute(np.asarray(op[1]))
+            elif op[0] == "p2p":
+                net.p2p(op[1], op[2], op[3], topo, sync=op[4], tag="sc-p2p")
+            elif op[0] == "p2p_batch":
+                net.p2p_batch(
+                    np.asarray(op[1], dtype=np.int64),
+                    np.asarray(op[2], dtype=np.int64),
+                    np.asarray(op[3], dtype=np.int64),
+                    topo, sync=op[4], tag="sc-batch",
+                )
+            elif op[0] == "shift":
+                net.shift(op[1], op[2], topo, sync=op[3], tag="sc-shift")
+            elif op[0] == "bcast":
+                net.broadcast(op[1], op[2], topo, tag="sc-bcast")
+            elif op[0] == "reduce":
+                net.reduce(op[1], op[2], topo, combine_seconds=op[3],
+                           tag="sc-reduce")
+            else:
+                net.allreduce(op[1], topo, combine_seconds=op[2])
+
+    m_rec, m_str = _machine_pair(p, rng)
+    with isolated_metrics():
+        run(m_rec)
+    with isolated_metrics():
+        run(m_str)
+    label = f"netops p={p} distr={distr} ops={[o[0] for o in ops]}"
+    return _compare_modes(m_rec, m_str, label), cov
+
+
+def trial_stream_engine(rng: random.Random) -> tuple[str | None, dict[str, int]]:
+    """Engine workloads (dc / farm): intervals arrive via the scalar
+    timeline API with the engine's t0 offset; spans close through the
+    streaming tracer."""
+    from repro.skeletons.functional import skil_fn as sf
+
+    p = rng.choice([4, 8, 16])
+    kind = rng.choice(["dc", "farm", "both"])
+    n_items = rng.randint(8, 40)
+    seed = rng.randrange(2**31)
+    cov = {f"stream.engine_{kind}": 1, f"stream.p{p}": 1}
+
+    def run(machine: Machine) -> None:
+        ctx = SkilContext(machine)
+        if rng_offset:
+            ctx.net.compute(1e-4)
+        if kind in ("dc", "both"):
+            is_trivial = sf(ops=1)(lambda pb: len(pb) <= 2)
+            solve = sf(ops=1)(lambda pb: sum(pb))
+            split = sf(ops=1)(
+                lambda pb: [pb[: len(pb) // 2], pb[len(pb) // 2:]]
+            )
+            join = sf(ops=1)(lambda rs: sum(rs))
+            ctx.divide_and_conquer(
+                is_trivial, solve, split, join, list(range(n_items))
+            )
+        if kind in ("farm", "both"):
+            worker = sf(ops=2)(lambda t: t * 2 + seed % 7)
+            ctx.farm(worker, list(range(n_items)), size_of=lambda t: 1 + t % 3)
+
+    rng_offset = rng.random() < 0.5
+    m_rec, m_str = _machine_pair(p, rng)
+    with isolated_metrics():
+        run(m_rec)
+    with isolated_metrics():
+        run(m_str)
+    label = f"engine {kind} p={p} items={n_items}"
+    return _compare_modes(m_rec, m_str, label), cov
+
+
+_TRIALS = [trial_stream_app, trial_stream_netops, trial_stream_engine]
+
+
+def _run_trial(trial_seed: int, res: CheckResult, verbose: bool = False) -> None:
+    rng = random.Random(trial_seed)
+    fn = _TRIALS[trial_seed % len(_TRIALS)]
+    res.trials += 1
+    try:
+        with isolated_metrics():
+            msg, cov = fn(rng)
+    except Exception:
+        msg, cov = traceback.format_exc(limit=8), {}
+    for k, v in cov.items():
+        res.coverage[k] = res.coverage.get(k, 0) + v
+    if msg is not None:
+        res.failures.append(
+            Failure(
+                pillar="stream",
+                seed=trial_seed,
+                title=fn.__name__,
+                detail=msg,
+                replay=(
+                    f"PYTHONPATH=src python -m repro.check stream "
+                    f"--seed {trial_seed} --budget 1 --raw-seed"
+                ),
+            )
+        )
+        if verbose:
+            print(f"stream seed {trial_seed}: FAIL")
+
+
+def run_stream(
+    seed: int = 0,
+    budget: int = 120,
+    time_budget: float | None = None,
+    verbose: bool = False,
+) -> CheckResult:
+    """Run *budget* streamed-vs-recorded trials (3 interleaved families)."""
+    res = CheckResult("stream")
+    t0 = time.monotonic()
+    for i in range(budget):
+        if time_budget is not None and time.monotonic() - t0 > time_budget:
+            break
+        _run_trial(seed * 1_000_003 + i, res, verbose=verbose)
+    return res
+
+
+def run_stream_raw(seed: int, budget: int = 1) -> CheckResult:
+    """Replay exact per-trial seeds printed by a failure report."""
+    res = CheckResult("stream")
+    for k in range(budget):
+        _run_trial(seed + k, res)
+    return res

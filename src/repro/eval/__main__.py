@@ -6,9 +6,10 @@ Usage::
    python -m repro.eval table2 [--scale 0.25]
    python -m repro.eval figure1 [--scale 0.25] [--csv]
    python -m repro.eval ablations [--scale 0.25]
-   python -m repro.eval all [--scale 0.25]
+   python -m repro.eval all [--scale 0.25] [--progress]
    python -m repro.eval trace [--app gauss-full] [--p 9] [--n 48]
-                              [--json trace.json] [--metrics-out m.prom]
+                              [--stream] [--trace t.json]
+                              [--metrics-out m.prom]
    python -m repro.eval analyze [--app gauss] [--p 16] [--n 48]
                               [--json-out analyze.json] [--no-whatif]
    python -m repro.eval bench [--quick] [--out BENCH_perf.json]
@@ -18,6 +19,10 @@ Usage::
 the Table 2 grid takes a few minutes of wall-clock time because the
 simulation really performs the numeric work; smaller scales shrink the
 matrices proportionally.
+
+Every subcommand accepts the shared observability flags ``--trace``,
+``--metrics-out`` and ``--quiet`` (see :mod:`repro.eval.cliopts`);
+``trace`` keeps ``--json`` as a back-compatible alias of ``--trace``.
 """
 
 from __future__ import annotations
@@ -25,114 +30,161 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.eval.experiments import (
-    ablation_equal_c,
-    ablation_full_gauss,
-    ablation_instantiation,
-    ablation_sync_comm,
-    ablation_topology,
-    figure1,
-    table1,
-    table2,
+from repro.eval.cliopts import (
+    obs_parent,
+    representative_obs_run,
+    write_obs_artifacts,
 )
-from repro.eval.figures import format_figure1, series_csv
-from repro.eval.tables import format_ablation, format_table1, format_table2
+
+_ARTEFACTS = ("table1", "table2", "figure1", "ablations", "all")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parent = obs_parent()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the evaluation of the Skil paper (HPDC '96).",
+    )
+    sub = parser.add_subparsers(dest="what", required=True, metavar="what")
+
+    for name in _ARTEFACTS:
+        sp = sub.add_parser(
+            name,
+            parents=[parent],
+            help=f"regenerate {name}"
+            if name != "all"
+            else "regenerate every artefact",
+        )
+        sp.add_argument(
+            "--scale",
+            type=float,
+            default=1.0,
+            help="problem-size scale in (0, 1]; 1.0 = the paper's sizes",
+        )
+        sp.add_argument(
+            "--csv",
+            action="store_true",
+            help="emit figure series as CSV too",
+        )
+        sp.add_argument(
+            "--out",
+            metavar="DIR",
+            default=None,
+            help="also write each artefact into DIR (table1.txt, table2.txt, "
+            "figure1.txt, figure1_*.csv, ablations.txt)",
+        )
+        sp.add_argument(
+            "--progress",
+            action="store_true",
+            help="print a wall-clock progress line per evaluation step "
+            "(stderr)",
+        )
+
+    tr = sub.add_parser(
+        "trace",
+        parents=[parent],
+        help="profile one run (spans, timeline, metrics)",
+    )
+    tr.add_argument(
+        "--json",
+        dest="trace",
+        metavar="FILE",
+        help="alias of --trace (back-compatible)",
+    )
+    tr.add_argument(
+        "--level",
+        type=int,
+        choices=[1, 2],
+        default=2,
+        help="1 = spans + metrics, 2 = also per-rank timeline",
+    )
+    tr.add_argument(
+        "--stream",
+        action="store_true",
+        help="run under trace_mode='stream': O(p + samples) memory, "
+        "inclusive aggregates; --trace becomes the JSONL event spill",
+    )
+    tr.add_argument(
+        "--sample-size",
+        type=int,
+        default=1024,
+        help="stream: reservoir capacity for sampled message records",
+    )
+    tr.add_argument(
+        "--heartbeat-every",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="stream: emit a progress heartbeat every SEC wall-seconds",
+    )
+
+    an = sub.add_parser(
+        "analyze",
+        parents=[parent],
+        help="critical-path/straggler analysis of one run",
+    )
+    an.add_argument(
+        "--json-out",
+        metavar="FILE",
+        default=None,
+        help="write the analysis snapshot (repro-analyze/1 JSON)",
+    )
+    an.add_argument(
+        "--no-whatif",
+        action="store_true",
+        help="skip the perturbed-cost what-if replays",
+    )
+    an.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        help="rows in the blocking-edge/imbalance tables",
+    )
+
+    for sp in (tr, an):
+        sp.add_argument(
+            "--app",
+            choices=["shpaths", "gauss", "gauss-full"],
+            default="gauss-full",
+            help="which application to run",
+        )
+        sp.add_argument("--p", type=int, default=9, help="processor count")
+        sp.add_argument("--n", type=int, default=48, help="problem size")
+        sp.add_argument("--seed", type=int, default=0, help="input seed")
+
+    return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv[:1] == ["bench"]:
         # the wall-clock harness owns its full option set (see bench.py)
+        # but shares the observability parent, so the common flags work
         from repro.eval.bench import main as bench_main
 
         return bench_main(argv[1:])
 
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.eval",
-        description="Regenerate the evaluation of the Skil paper (HPDC '96).",
-    )
-    parser.add_argument(
-        "what",
-        choices=["table1", "table2", "figure1", "ablations", "all", "trace",
-                 "analyze"],
-        help="which artefact to regenerate ('trace': profile one run; "
-        "'analyze': critical-path/straggler analysis of one run)",
-    )
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=1.0,
-        help="problem-size scale in (0, 1]; 1.0 = the paper's sizes",
-    )
-    parser.add_argument(
-        "--csv", action="store_true", help="emit figure series as CSV too"
-    )
-    parser.add_argument(
-        "--out",
-        metavar="DIR",
-        default=None,
-        help="also write each artefact into DIR (table1.txt, table2.txt, "
-        "figure1.txt, figure1_*.csv, ablations.txt)",
-    )
-    parser.add_argument(
-        "--app",
-        choices=["shpaths", "gauss", "gauss-full"],
-        default="gauss-full",
-        help="trace/analyze: which application to run",
-    )
-    parser.add_argument(
-        "--p", type=int, default=9, help="trace/analyze: number of processors"
-    )
-    parser.add_argument(
-        "--n", type=int, default=48, help="trace/analyze: problem size"
-    )
-    parser.add_argument(
-        "--json",
-        metavar="FILE",
-        default=None,
-        help="trace: write a Chrome trace-event JSON (open in Perfetto)",
-    )
-    parser.add_argument(
-        "--metrics-out",
-        metavar="FILE",
-        default=None,
-        help="trace: write the metrics registry in Prometheus text format",
-    )
-    parser.add_argument(
-        "--level",
-        type=int,
-        choices=[1, 2],
-        default=2,
-        help="trace: 1 = spans + metrics, 2 = also per-rank timeline",
-    )
-    parser.add_argument(
-        "--json-out",
-        metavar="FILE",
-        default=None,
-        help="analyze: write the analysis snapshot (repro-analyze/1 JSON)",
-    )
-    parser.add_argument(
-        "--no-whatif",
-        action="store_true",
-        help="analyze: skip the perturbed-cost what-if replays",
-    )
-    parser.add_argument(
-        "--top", type=int, default=8,
-        help="analyze: rows in the blocking-edge/imbalance tables",
-    )
+    parser = _build_parser()
     args = parser.parse_args(argv)
-    if not (0 < args.scale <= 1.0):
-        parser.error("--scale must be in (0, 1]")
 
     if args.what == "trace":
         from repro.eval.tracecmd import run_trace_command
 
-        print(
-            run_trace_command(
-                args.app, p=args.p, n=args.n, out=args.json,
-                trace_level=args.level, metrics_out=args.metrics_out,
-            )
+        text = run_trace_command(
+            args.app,
+            p=args.p,
+            n=args.n,
+            out=args.trace,
+            trace_level=args.level,
+            seed=args.seed,
+            metrics_out=args.metrics_out,
+            stream=args.stream,
+            sample_size=args.sample_size,
+            heartbeat_every=args.heartbeat_every
+            if not args.quiet
+            else None,
         )
+        print(text)
         return 0
 
     if args.what == "analyze":
@@ -140,11 +192,42 @@ def main(argv: list[str] | None = None) -> int:
 
         print(
             run_analyze_command(
-                args.app, p=args.p, n=args.n, top=args.top,
-                whatif=not args.no_whatif, json_out=args.json_out,
+                args.app,
+                p=args.p,
+                n=args.n,
+                seed=args.seed,
+                top=args.top,
+                whatif=not args.no_whatif,
+                json_out=args.json_out,
+                trace_out=args.trace,
+                metrics_out=args.metrics_out,
             )
         )
         return 0
+
+    # ---------------------------------------------------------- artefacts
+    if not (0 < args.scale <= 1.0):
+        parser.error("--scale must be in (0, 1]")
+
+    from repro.eval.experiments import (
+        ablation_equal_c,
+        ablation_full_gauss,
+        ablation_instantiation,
+        ablation_sync_comm,
+        ablation_topology,
+        figure1,
+        table1,
+        table2,
+    )
+    from repro.eval.figures import format_figure1, series_csv
+    from repro.eval.tables import format_ablation, format_table1, format_table2
+
+    progress = None
+    if args.progress and not args.quiet:
+        from repro.obs.stream import ProgressReporter
+
+        reporter = ProgressReporter()
+        progress = reporter.note
 
     outdir = None
     if args.out is not None:
@@ -160,9 +243,10 @@ def main(argv: list[str] | None = None) -> int:
             (outdir / name).write_text(text + "\n")
 
     if args.what in ("table1", "all"):
-        emit("table1.txt", format_table1(table1(scale=args.scale)))
+        emit("table1.txt", format_table1(table1(scale=args.scale,
+                                                progress=progress)))
     if args.what in ("table2", "figure1", "all"):
-        cells = table2(scale=args.scale)
+        cells = table2(scale=args.scale, progress=progress)
         if args.what in ("table2", "all"):
             emit("table2.txt", format_table2(cells))
         if args.what in ("figure1", "all"):
@@ -178,17 +262,22 @@ def main(argv: list[str] | None = None) -> int:
                     (outdir / "figure1_speedups.csv").write_text(up_csv + "\n")
                     (outdir / "figure1_slowdowns.csv").write_text(down_csv + "\n")
     if args.what in ("ablations", "all"):
-        texts = [
-            format_ablation(ab)
-            for ab in (
-                ablation_equal_c(scale=args.scale),
-                ablation_full_gauss(scale=args.scale),
-                ablation_instantiation(scale=args.scale),
-                ablation_topology(scale=args.scale),
-                ablation_sync_comm(scale=args.scale),
-            )
-        ]
+        texts = []
+        for fn in (
+            ablation_equal_c,
+            ablation_full_gauss,
+            ablation_instantiation,
+            ablation_topology,
+            ablation_sync_comm,
+        ):
+            if progress is not None:
+                progress(f"ablation: {fn.__name__}")
+            texts.append(format_ablation(fn(scale=args.scale)))
         emit("ablations.txt", "\n\n".join(texts))
+
+    footer = representative_obs_run(args.trace, args.metrics_out)
+    if footer and not args.quiet:
+        print("\n".join(footer))
     return 0
 
 

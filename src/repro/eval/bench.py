@@ -65,6 +65,13 @@ GATED_MICROS = {
     "broadcast_part": (64,),
 }
 
+#: absolute ceiling on the stream-mode wall-clock overhead relative to
+#: trace-off (the ``obs_overhead`` gate).  Streaming charges one
+#: vectorized aggregate update per communication wave, so its overhead
+#: is a small constant factor; 8x leaves generous headroom for host
+#: noise while still catching an accidental per-message Python loop.
+OBS_OVERHEAD_LIMIT = 8.0
+
 
 def _set_fusion(enabled: bool) -> bool:
     """Flip the global fusion default; returns False when the fused
@@ -347,6 +354,52 @@ def _e2e_eval_all(scale: float) -> float:
 
 
 # ---------------------------------------------------------------------------
+# observability overhead — how much wall-clock the trace modes cost
+# ---------------------------------------------------------------------------
+def run_obs_overhead(quick: bool, repeat: int, seed: int) -> dict:
+    """Time one shortest-paths run at trace off / record / stream.
+
+    Asserts the simulated makespan is bit-identical across all three
+    (tracing must never perturb the simulation) and reports the
+    wall-clock overhead factors; ``stream_overhead`` is gated against
+    :data:`OBS_OVERHEAD_LIMIT` by ``main``.
+    """
+    from repro.eval.tracecmd import run_traced
+
+    p, n = (16, 16) if quick else (64, 48)
+
+    def _runner(mode: str) -> Callable[[], float]:
+        def run() -> float:
+            machine = run_traced(
+                "shpaths",
+                p=p,
+                n=n,
+                seed=seed,
+                trace_level=0 if mode == "off" else 2,
+                trace_mode="stream" if mode == "stream" else "record",
+            ).machine
+            return machine.time
+
+        return run
+
+    off_s, sim_off = _time_best(_runner("off"), repeat)
+    record_s, sim_record = _time_best(_runner("record"), repeat)
+    stream_s, sim_stream = _time_best(_runner("stream"), repeat)
+    return {
+        "name": "obs_overhead_shpaths",
+        "p": p,
+        "n": n,
+        "off_s": round(off_s, 6),
+        "record_s": round(record_s, 6),
+        "stream_s": round(stream_s, 6),
+        "record_overhead": round(record_s / off_s, 3) if off_s > 0 else None,
+        "stream_overhead": round(stream_s / off_s, 3) if off_s > 0 else None,
+        "sim_seconds": sim_off,
+        "sim_identical": sim_off == sim_record == sim_stream,
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 def _run_pair(
@@ -420,6 +473,14 @@ def run_bench(
                 f"sim-identical={entry['sim_identical']}"
             )
 
+    obs = run_obs_overhead(quick, repeat, seed)
+    report["obs_overhead"] = obs
+    print(
+        f"obs   {obs['name']:15s} off {obs['off_s']:.4f}s  "
+        f"record {obs['record_overhead']}x  stream {obs['stream_overhead']}x  "
+        f"sim-identical={obs['sim_identical']}"
+    )
+
     if e2e:
         shp_n, gauss_n = (32, 32) if quick else (128, 128)
         for name, fn in (
@@ -470,6 +531,14 @@ def validate_schema(doc: dict) -> list[str]:
                     problems.append(f"{section}[{i}] missing {key!r}")
     if not doc.get("microbench"):
         problems.append("no microbenchmark entries")
+    # the obs_overhead section arrived with the streaming layer; tolerate
+    # committed baselines written before it existed
+    obs = doc.get("obs_overhead")
+    if obs is not None:
+        for key in ("name", "off_s", "record_s", "stream_s",
+                    "stream_overhead", "sim_identical"):
+            if key not in obs:
+                problems.append(f"obs_overhead missing {key!r}")
     return problems
 
 
@@ -506,10 +575,13 @@ def check_regressions(current: dict, committed: dict) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.eval.cliopts import obs_parent, representative_obs_run
+
     ap = argparse.ArgumentParser(
         prog="python -m repro.eval bench",
         description="Wall-clock benchmarks of the skeleton hot paths "
         "(fused vs per-rank execution).",
+        parents=[obs_parent()],
     )
     ap.add_argument("--quick", action="store_true",
                     help="small sizes / few repeats (CI smoke)")
@@ -545,13 +617,31 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {args.out}")
+    if not args.quiet:
+        print(f"wrote {args.out}")
+
+    footer = representative_obs_run(args.trace, args.metrics_out)
+    if footer and not args.quiet:
+        print("\n".join(footer))
 
     failures = []
     for e in report["microbench"] + report["end_to_end"]:
         if not e.get("sim_identical", True):
             failures.append(
                 f"{e['name']}: simulated seconds differ between paths"
+            )
+    obs = report.get("obs_overhead")
+    if obs is not None:
+        if not obs["sim_identical"]:
+            failures.append(
+                f"{obs['name']}: simulated seconds differ across trace "
+                "modes (tracing must not perturb the simulation)"
+            )
+        overhead = obs.get("stream_overhead")
+        if overhead is not None and overhead > OBS_OVERHEAD_LIMIT:
+            failures.append(
+                f"{obs['name']}: stream-mode overhead {overhead}x exceeds "
+                f"the {OBS_OVERHEAD_LIMIT}x ceiling vs trace-off"
             )
     if args.check_against is not None:
         with open(args.check_against) as fh:

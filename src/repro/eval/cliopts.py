@@ -1,0 +1,114 @@
+"""Shared command-line options for the ``python -m repro.eval`` family.
+
+Historically each subcommand grew its own flag set, and the
+observability flags drifted: ``trace`` took ``--json`` and
+``--metrics-out``, ``analyze`` took neither, ``bench`` had its own
+``--out`` and no way to dump metrics.  This module defines the three
+flags every subcommand now accepts — as one argparse *parent* so the
+definitions cannot drift again:
+
+``--trace FILE``
+    Write a Chrome trace-event JSON of the command's traced run (open
+    in Perfetto).  ``trace``/``analyze`` trace the run they already
+    perform; the artefact commands (``table1`` … ``all``) and ``bench``
+    run their machines untraced, so for them the flag appends one
+    standard traced run of the default trace app and writes *that*.
+    In stream mode (``trace --stream``) the file becomes the JSONL
+    event spill instead — the stream keeps no recording to export.
+
+``--metrics-out FILE``
+    Write the run's metrics registry in Prometheus text format (same
+    representative-run rule as ``--trace``).
+
+``--quiet``
+    Suppress progress notes, heartbeats and "written to ..." chatter;
+    the command's primary report still prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["obs_parent", "write_obs_artifacts", "representative_obs_run"]
+
+
+def obs_parent() -> argparse.ArgumentParser:
+    """The shared ``--trace`` / ``--metrics-out`` / ``--quiet`` parent."""
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group("observability (common to all subcommands)")
+    g.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON of the traced run "
+        "(JSONL event spill in stream mode)",
+    )
+    g.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics registry in Prometheus text format",
+    )
+    g.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress notes and 'written to ...' chatter",
+    )
+    return parent
+
+
+def write_obs_artifacts(
+    machine,
+    trace_path: str | None,
+    metrics_path: str | None,
+) -> list[str]:
+    """Write the requested artefacts from *machine*; returns footer lines.
+
+    In stream mode there is no recording to export — the Chrome JSON
+    request is satisfied by the JSONL spill the stream wrote (the
+    caller passes ``--trace`` as the spill path), so only the metrics
+    dump happens here.
+    """
+    from repro.errors import SkilError
+
+    lines: list[str] = []
+    if trace_path is not None:
+        if getattr(machine, "stream_obs", None) is not None:
+            lines.append(
+                f"streaming JSONL event spill written to {trace_path} "
+                "(rotated segments keep the tail of long runs)"
+            )
+        else:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(trace_path, machine)
+            lines.append(
+                f"Chrome trace written to {trace_path} (open in Perfetto)"
+            )
+    if metrics_path is not None:
+        if machine.metrics is None:
+            raise SkilError(
+                "--metrics-out needs trace_level >= 1 (no metrics registry)"
+            )
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            fh.write(machine.metrics.render_text())
+        lines.append(f"Prometheus metrics written to {metrics_path}")
+    return lines
+
+
+def representative_obs_run(
+    trace_path: str | None, metrics_path: str | None
+) -> list[str]:
+    """Satisfy ``--trace``/``--metrics-out`` for commands without a
+    single traced run (``all``, the table commands, ``bench``): run the
+    default trace app once, traced, and export from that."""
+    if trace_path is None and metrics_path is None:
+        return []
+    from repro.eval.tracecmd import run_traced
+
+    run = run_traced("gauss-full", p=9, n=48)
+    lines = write_obs_artifacts(run.machine, trace_path, metrics_path)
+    return [
+        "representative traced run: gauss-full p=9 n=48",
+        *lines,
+    ]

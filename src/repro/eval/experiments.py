@@ -91,11 +91,19 @@ def _scaled(n: int, scale: float) -> int:
     return max(8, int(round(n * scale)))
 
 
-def table1(scale: float = 1.0, ps=TABLE1_PS, seed: int = 0) -> list[Table1Row]:
-    """Shortest paths for ~200-node graphs on 2x2 ... 8x8 networks."""
+def table1(
+    scale: float = 1.0, ps=TABLE1_PS, seed: int = 0, progress=None
+) -> list[Table1Row]:
+    """Shortest paths for ~200-node graphs on 2x2 ... 8x8 networks.
+
+    *progress*, when given, is called with one label per grid cell
+    before it runs (``eval all --progress``).
+    """
     n = _scaled(200, scale)
     rows = []
     for p in ps:
+        if progress is not None:
+            progress(f"table1: shpaths p={p} n~{n}")
         skil = run_shpaths("skil", p, n, seed=seed)
         dpfl = run_shpaths("dpfl", p, n, seed=seed)
         c_old = run_shpaths("parix-c-old", p, n, seed=seed)
@@ -104,14 +112,21 @@ def table1(scale: float = 1.0, ps=TABLE1_PS, seed: int = 0) -> list[Table1Row]:
 
 
 def table2(
-    scale: float = 1.0, ps=TABLE2_PS, ns=TABLE2_NS, seed: int = 0
+    scale: float = 1.0, ps=TABLE2_PS, ns=TABLE2_NS, seed: int = 0,
+    progress=None,
 ) -> list[Table2Cell]:
-    """Gaussian elimination grid (simple variant, as measured)."""
+    """Gaussian elimination grid (simple variant, as measured).
+
+    *progress*, when given, is called with one label per grid cell
+    before it runs (``eval all --progress``).
+    """
     cells = []
     for p in ps:
         for n in ns:
             n_eff = _scaled(n, scale)
             n_eff = max(p, n_eff - (n_eff % p))  # the paper assumes p | n
+            if progress is not None:
+                progress(f"table2: gauss p={p} n={n_eff}")
             skil = run_gauss("skil", p, n_eff, seed=seed)
             c = run_gauss("parix-c", p, n_eff, seed=seed)
             fits = fits_paper_memory(n, p, "dpfl")

@@ -25,6 +25,8 @@ __all__ = [
     "SkeletonBreakdown",
     "skeleton_breakdowns",
     "format_skeleton_breakdowns",
+    "stream_skeleton_breakdowns",
+    "format_stream_skeleton_breakdowns",
 ]
 
 
@@ -201,5 +203,47 @@ def format_skeleton_breakdowns(rows: list[SkeletonBreakdown]) -> str:
             f"{r.name:<24}{r.calls:>6}{r.busy_total:>10.3f}"
             f"{r.compute_share:>8.0%}{r.comm_share:>7.0%}{r.idle_share:>7.0%}"
             f"{r.messages:>8}{r.bytes_sent / 1e6:>9.2f}"
+        )
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# per-skeleton breakdowns from streamed aggregates
+# ---------------------------------------------------------------------------
+def stream_skeleton_breakdowns(observer) -> list:
+    """Per-skeleton rows from a stream-mode run's :class:`StreamObserver`.
+
+    Streaming keeps no span tree, so these numbers are **inclusive** of
+    nested skeleton spans (computing exclusive costs needs parent links,
+    i.e. record mode and :func:`skeleton_breakdowns`) — summing rows can
+    double-count a second spent inside a nested skeleton.  In exchange
+    each row carries exact online duration quantiles.  Rows are sorted
+    by busy time, largest first.
+    """
+    rows = [
+        agg
+        for (category, _), agg in observer.span_aggs.items()
+        if category == "skeleton"
+    ]
+    rows.sort(key=lambda a: a.busy_total, reverse=True)
+    return rows
+
+
+def format_stream_skeleton_breakdowns(rows: list) -> str:
+    """Render the streamed per-skeleton table (inclusive attribution)."""
+    out = [
+        f"{'skeleton (inclusive)':<24}{'calls':>6}{'busy [s]':>10}"
+        f"{'compute':>9}{'comm':>7}{'idle':>7}{'msgs':>8}{'MB sent':>9}"
+        f"{'p50 [s]':>10}{'p99 [s]':>10}"
+    ]
+    for a in rows:
+        b = a.busy_total or 1.0
+        out.append(
+            f"{a.name:<24}{a.calls:>6}{a.busy_total:>10.3f}"
+            f"{a.compute_seconds / b:>8.0%}{a.comm_seconds / b:>7.0%}"
+            f"{a.idle_seconds / b:>7.0%}"
+            f"{a.messages:>8}{a.bytes_sent / 1e6:>9.2f}"
+            f"{a.durations.quantile(0.5):>10.2e}"
+            f"{a.durations.quantile(0.99):>10.2e}"
         )
     return "\n".join(out)

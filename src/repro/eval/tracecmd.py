@@ -54,6 +54,9 @@ def run_traced(
     seed: int = 0,
     cost: CostModel | None = None,
     balance_compute: bool = False,
+    trace_mode: str = "record",
+    stream=None,
+    heartbeat_every: float | None = None,
 ) -> TraceRun:
     """Run *app* on a fresh traced machine; returns the run handle.
 
@@ -62,12 +65,27 @@ def run_traced(
     *cost* and *balance_compute* exist for the what-if replays of
     ``repro.obs.analysis``: the same application under a perturbed cost
     model and/or with per-step compute averaged across ranks.
+
+    ``trace_mode="stream"`` runs under the memory-bounded streaming
+    sinks (optionally configured by *stream*, a
+    :class:`~repro.obs.stream.StreamConfig`); *heartbeat_every* then
+    attaches a wall-clock progress heartbeat at that interval.
     """
     if app not in TRACE_APPS:
         raise SkilError(f"unknown trace app {app!r}; choose from {TRACE_APPS}")
-    machine = Machine(p, trace_level=trace_level, **(
-        {"cost": cost} if cost is not None else {}
-    ))
+    machine = Machine(
+        p,
+        trace_level=trace_level,
+        trace_mode=trace_mode,
+        stream=stream,
+        **({"cost": cost} if cost is not None else {}),
+    )
+    if heartbeat_every is not None and machine.stream_obs is not None:
+        from repro.obs.stream import ProgressReporter
+
+        machine.stream_obs.heartbeat = ProgressReporter(
+            machine, interval=heartbeat_every
+        )
     machine.network.balance_compute = balance_compute
     ctx = SkilContext(machine, SKIL)
     if app == "shpaths":
@@ -83,18 +101,40 @@ def run_traced(
 
 
 def trace_report_text(run: TraceRun) -> str:
-    """The full plain-text analysis of one traced run."""
+    """The full plain-text analysis of one traced run.
+
+    Record mode prints the exclusive per-skeleton table and the
+    flamegraph rollup (both need the span tree); stream mode prints the
+    inclusive streamed table with duration quantiles and the
+    aggregated-mode analysis instead.
+    """
     m = run.machine
     label = f"{run.app} p={m.p} n={run.n}"
-    parts = [
-        format_breakdowns([breakdown(label, run.seconds, m.stats)]),
-        "",
-        "per-skeleton breakdown (exclusive):",
-        format_skeleton_breakdowns(skeleton_breakdowns(m.tracer)),
-        "",
-        "flamegraph rollup:",
-        flame_rollup(m.tracer, timeline=m.timeline),
-    ]
+    parts = [format_breakdowns([breakdown(label, run.seconds, m.stats)]), ""]
+    if m.stream_obs is not None:
+        from repro.eval.trace_report import (
+            format_stream_skeleton_breakdowns,
+            stream_skeleton_breakdowns,
+        )
+
+        parts += [
+            "per-skeleton breakdown (streamed, inclusive):",
+            format_stream_skeleton_breakdowns(
+                stream_skeleton_breakdowns(m.stream_obs)
+            ),
+        ]
+        if m.trace_level >= 2:
+            from repro.obs.analysis import analyze_stream, format_stream_analysis
+
+            parts += ["", format_stream_analysis(analyze_stream(m))]
+    else:
+        parts += [
+            "per-skeleton breakdown (exclusive):",
+            format_skeleton_breakdowns(skeleton_breakdowns(m.tracer)),
+            "",
+            "flamegraph rollup:",
+            flame_rollup(m.tracer, timeline=m.timeline),
+        ]
     if m.metrics is not None:
         parts += ["", "metrics:", m.metrics.format()]
     return "\n".join(parts)
@@ -108,13 +148,45 @@ def run_trace_command(
     trace_level: int = 2,
     seed: int = 0,
     metrics_out: str | None = None,
+    stream: bool = False,
+    sample_size: int = 1024,
+    heartbeat_every: float | None = None,
 ) -> str:
-    """Drive one traced run; returns the report text, writes *out* JSON."""
-    run = run_traced(app, p=p, n=n, trace_level=trace_level, seed=seed)
+    """Drive one traced run; returns the report text, writes *out* JSON.
+
+    With *stream* the run uses ``trace_mode="stream"`` and *out* (the
+    ``--trace`` file) becomes the streaming JSONL event spill — the
+    stream retains no recording, so there is no Chrome JSON to write
+    after the fact; events spill as they happen instead.
+    """
+    stream_cfg = None
+    if stream:
+        from repro.obs.stream import StreamConfig
+
+        stream_cfg = StreamConfig(
+            sample_size=sample_size, seed=seed, spill_path=out
+        )
+    run = run_traced(
+        app,
+        p=p,
+        n=n,
+        trace_level=trace_level,
+        seed=seed,
+        trace_mode="stream" if stream else "record",
+        stream=stream_cfg,
+        heartbeat_every=heartbeat_every,
+    )
     text = trace_report_text(run)
     if out is not None:
-        write_chrome_trace(out, run.machine)
-        text += f"\n\nChrome trace written to {out} (open in Perfetto)"
+        if stream:
+            run.machine.stream_obs.close()
+            text += (
+                f"\n\nstreaming JSONL event spill written to {out} "
+                "(rotated segments keep the tail of long runs)"
+            )
+        else:
+            write_chrome_trace(out, run.machine)
+            text += f"\n\nChrome trace written to {out} (open in Perfetto)"
     if metrics_out is not None:
         if run.machine.metrics is None:
             raise SkilError(
@@ -134,6 +206,8 @@ def run_analyze_command(
     top: int = 8,
     whatif: bool = True,
     json_out: str | None = None,
+    trace_out: str | None = None,
+    metrics_out: str | None = None,
 ) -> str:
     """Drive one traced run through the critical-path analysis.
 
@@ -185,4 +259,9 @@ def run_analyze_command(
             json.dump(snap, fh, indent=2, sort_keys=True)
             fh.write("\n")
         text += f"\n\nanalysis snapshot written to {json_out}"
+    if trace_out is not None or metrics_out is not None:
+        from repro.eval.cliopts import write_obs_artifacts
+
+        for line in write_obs_artifacts(run.machine, trace_out, metrics_out):
+            text += f"\n\n{line}"
     return text

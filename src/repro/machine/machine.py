@@ -82,6 +82,21 @@ class Machine:
           :class:`~repro.obs.metrics.MetricsRegistry`;
         * ``2`` — plus a per-rank :class:`~repro.obs.timeline.Timeline`
           and individual message records.
+    trace_mode:
+        How observability data is retained (DESIGN: docs/OBSERVABILITY.md):
+
+        * ``"record"`` (default) — materialize everything: message
+          records, timeline intervals and spans accumulate in lists,
+          O(messages) memory, full post-hoc analysis (DAG, what-if).
+        * ``"stream"`` — route the same event stream through
+          :mod:`repro.obs.stream` sinks: exact O(p) aggregates, a
+          seeded reservoir of message records, a ring of recent spans,
+          optional JSONL spill.  Memory stays O(p + samples) at any
+          run length; aggregate values are bit-identical to folding a
+          full recording (the ``stream`` check pillar).
+    stream:
+        Optional :class:`~repro.obs.stream.StreamConfig` for
+        ``trace_mode="stream"`` (sample sizes, spill path, seed).
     """
 
     def __init__(
@@ -93,17 +108,26 @@ class Machine:
         use_virtual_topologies: bool = True,
         link_contention: bool = False,
         trace_level: int = 0,
+        trace_mode: str = "record",
+        stream=None,
     ):
         if p <= 0:
             raise MachineError(f"need a positive processor count, got {p}")
         if trace_level not in (0, 1, 2):
             raise MachineError(f"trace_level must be 0, 1 or 2, got {trace_level}")
+        if trace_mode not in ("record", "stream"):
+            raise MachineError(
+                f"trace_mode must be 'record' or 'stream', got {trace_mode!r}"
+            )
         self.p = p
         self.cost = cost
         self.mesh = Mesh2D.for_processors(p)
         self.trace_level = trace_level
+        self.trace_mode = trace_mode
+        streaming = trace_mode == "stream"
         self.stats = TraceStats(
-            keep_records=keep_message_records or trace_level >= 2
+            keep_records=keep_message_records
+            or (trace_level >= 2 and not streaming)
         )
         self.network = Network(
             cost, p, stats=self.stats, link_contention=link_contention
@@ -113,18 +137,39 @@ class Machine:
         #: They share ``self.stats`` and the network clocks — see
         #: :meth:`reset` for the sharing contract.
         self.tracer = self.metrics = self.timeline = None
+        #: the :class:`~repro.obs.stream.StreamObserver` in stream mode
+        self.stream_obs = None
+        if streaming:
+            from repro.obs.stream import StreamObserver
+
+            self.stream_obs = StreamObserver(p, stream)
         if trace_level >= 1:
             from repro.obs.metrics import MetricsRegistry
-            from repro.obs.span import SpanTracer
 
-            self.tracer = SpanTracer(self.stats, self.network)
             self.metrics = MetricsRegistry()
             self.network.metrics = self.metrics
-        if trace_level >= 2:
-            from repro.obs.timeline import Timeline
+            if streaming:
+                from repro.obs.stream import StreamSpanTracer
 
-            self.timeline = Timeline()
-            self.network.timeline = self.timeline
+                self.tracer = StreamSpanTracer(
+                    self.stats, self.network, self.stream_obs
+                )
+            else:
+                from repro.obs.span import SpanTracer
+
+                self.tracer = SpanTracer(self.stats, self.network)
+        if trace_level >= 2:
+            if streaming:
+                # the stream timeline takes the Timeline's place on the
+                # network; ``self.timeline`` stays None so DAG-building
+                # analysis correctly refuses (use analyze_stream)
+                self.network.timeline = self.stream_obs.timeline
+                self.stats.sink = self.stream_obs
+            else:
+                from repro.obs.timeline import Timeline
+
+                self.timeline = Timeline()
+                self.network.timeline = self.timeline
         self.strict_memory = strict_memory
         self.use_virtual_topologies = use_virtual_topologies
         self._memory = [_NodeMemory(cost.memory_bytes) for _ in range(p)]
@@ -158,6 +203,17 @@ class Machine:
             self.metrics.clear()
         if self.timeline is not None:
             self.timeline.clear()
+        if self.stream_obs is not None:
+            self.stream_obs.clear()
+
+    @property
+    def obs_timeline(self):
+        """The interval sink embedded engines should emit into: the
+        record-mode :class:`~repro.obs.timeline.Timeline`, the stream
+        timeline in stream mode, or ``None`` below ``trace_level=2``."""
+        if self.stream_obs is not None and self.trace_level >= 2:
+            return self.stream_obs.timeline
+        return self.timeline
 
     # ------------------------------------------------------------------ topo
     def topology(self, distr: str = DISTR_DEFAULT) -> VirtualTopology:

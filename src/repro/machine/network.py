@@ -38,6 +38,9 @@ __all__ = ["Network"]
 #: dispatch overhead beats the vector math on runs of one or two messages
 _WAVE_MIN = 4
 
+#: hop-count histogram buckets (1..16 mesh hops)
+_HOP_BUCKETS = tuple(float(h) for h in range(1, 17))
+
 
 class Network:
     """Per-processor clocks plus the message cost arithmetic.
@@ -64,6 +67,7 @@ class Network:
         self.cost = cost
         self.p = p
         self.clocks = np.zeros(p, dtype=np.float64)
+        self._all_ranks = np.arange(p, dtype=np.int64)
         self.stats = stats if stats is not None else TraceStats()
         #: when enabled, simultaneous transfers in a :meth:`shift` whose
         #: dimension-ordered routes share a directed hardware link are
@@ -85,10 +89,20 @@ class Network:
     def _observe_message(self, nbytes: int, hops: int, tag: str) -> None:
         m = self.metrics
         m.observe("net.message_bytes", nbytes)
-        m.observe(
-            "net.message_hops", hops, buckets=tuple(float(h) for h in range(1, 17))
-        )
+        m.observe("net.message_hops", hops, buckets=_HOP_BUCKETS)
         m.inc(f"net.messages.{tag or 'untagged'}")
+
+    def _observe_wave(self, nbytes, hops, tag: str) -> None:
+        """Vectorized :meth:`_observe_message` over one wave.
+
+        Histogram bucketing and counts are exact; the running sums use
+        a seeded left fold (:meth:`Histogram.observe_many`), so the
+        registry state is bit-identical to the per-message loop.
+        """
+        m = self.metrics
+        m.observe_many("net.message_bytes", nbytes)
+        m.observe_many("net.message_hops", hops, buckets=_HOP_BUCKETS)
+        m.inc(f"net.messages.{tag or 'untagged'}", len(nbytes))
 
     def _fold_stat_seconds(self, comm_terms, idle_terms) -> None:
         """Fold per-message comm/idle seconds into the running stats.
@@ -131,10 +145,17 @@ class Network:
         if sec.ndim != 0 and self.balance_compute and sec.shape == (self.p,):
             sec = np.asarray(float(sec.mean()))
         if sec.ndim == 0:
-            if self.timeline is not None and float(sec) > 0.0:
-                for r in range(self.p):
-                    t0 = float(self.clocks[r])
-                    self.timeline.add(r, "compute", t0, t0 + float(sec))
+            tl = self.timeline
+            if tl is not None and float(sec) > 0.0:
+                if getattr(tl, "wave_api", False):
+                    tl.add_many(
+                        self._all_ranks, "compute",
+                        self.clocks, self.clocks + float(sec),
+                    )
+                else:
+                    for r in range(self.p):
+                        t0 = float(self.clocks[r])
+                        tl.add(r, "compute", t0, t0 + float(sec))
             self.clocks += float(sec)
             self.stats.compute_seconds += float(sec) * self.p
         else:
@@ -143,11 +164,17 @@ class Network:
                     f"per-processor compute vector must have shape ({self.p},), "
                     f"got {sec.shape}"
                 )
-            if self.timeline is not None:
-                for r in range(self.p):
-                    if sec[r] > 0.0:
-                        t0 = float(self.clocks[r])
-                        self.timeline.add(r, "compute", t0, t0 + float(sec[r]))
+            tl = self.timeline
+            if tl is not None:
+                if getattr(tl, "wave_api", False):
+                    tl.add_many(
+                        self._all_ranks, "compute", self.clocks, self.clocks + sec
+                    )
+                else:
+                    for r in range(self.p):
+                        if sec[r] > 0.0:
+                            t0 = float(self.clocks[r])
+                            tl.add(r, "compute", t0, t0 + float(sec[r]))
             self.clocks += sec
             self.stats.compute_seconds += float(sec.sum())
 
@@ -331,23 +358,33 @@ class Network:
         )
         self._fold_stat_seconds(wire + cost.t_setup, idle_c)
         if self.metrics is not None:
-            for nb_i, h_i in zip(rnb.tolist(), rhops.tolist()):
-                self._observe_message(nb_i, h_i, tag)
+            self._observe_wave(rnb, rhops, tag)
         if self.timeline is not None:
             tl = self.timeline
-            prev_send = old_src
-            for d, dep, arr, w, od in zip(
-                rd.tolist(),
-                departs.tolist(),
-                arrival.tolist(),
-                wire.tolist(),
-                old_dst.tolist(),
-            ):
-                tl.add(s, "send", prev_send, dep, tag)
-                prev_send = dep
-                if arr - w > od:
-                    tl.add(d, "idle", od, arr - w, tag)
-                tl.add(d, "recv", max(od, arr - w), arr, tag)
+            if getattr(tl, "wave_api", False):
+                send_starts = np.empty(n, dtype=np.float64)
+                send_starts[0] = old_src
+                send_starts[1:] = departs[:-1]
+                tl.add_many(
+                    np.full(n, s, dtype=np.int64), "send", send_starts, departs, tag
+                )
+                idle_end = arrival - wire
+                tl.add_many(rd, "idle", old_dst, idle_end, tag)
+                tl.add_many(rd, "recv", np.maximum(old_dst, idle_end), arrival, tag)
+            else:
+                prev_send = old_src
+                for d, dep, arr, w, od in zip(
+                    rd.tolist(),
+                    departs.tolist(),
+                    arrival.tolist(),
+                    wire.tolist(),
+                    old_dst.tolist(),
+                ):
+                    tl.add(s, "send", prev_send, dep, tag)
+                    prev_send = dep
+                    if arr - w > od:
+                        tl.add(d, "idle", od, arr - w, tag)
+                    tl.add(d, "recv", max(od, arr - w), arr, tag)
 
     def _p2p_wave(self, srcs, dsts, nbs, topo, sync, tag) -> None:
         """One conflict-free wave, vectorized.
@@ -372,13 +409,17 @@ class Network:
             t_loc = nbs[local].astype(np.float64) * cost.t_mem
             old_loc = clocks[ls]
             if self.timeline is not None:
-                for s, t0, t in zip(
-                    ls.tolist(), old_loc.tolist(), t_loc.tolist()
-                ):
-                    if t > 0.0:
-                        self.timeline.add(
-                            s, "compute", t0, t0 + t, detail="local-copy"
-                        )
+                tl = self.timeline
+                if getattr(tl, "wave_api", False):
+                    tl.add_many(
+                        ls, "compute", old_loc, old_loc + t_loc, "local-copy"
+                    )
+                else:
+                    for s, t0, t in zip(
+                        ls.tolist(), old_loc.tolist(), t_loc.tolist()
+                    ):
+                        if t > 0.0:
+                            tl.add(s, "compute", t0, t0 + t, detail="local-copy")
             clocks[ls] = old_loc + t_loc
             comm_c[local] = t_loc
         if remote.any():
@@ -408,23 +449,30 @@ class Network:
                 arrival, rs, rd, rnb, rhops, tag, departs=depart
             )
             if self.metrics is not None:
-                for nb_i, h_i in zip(rnb.tolist(), rhops.tolist()):
-                    self._observe_message(nb_i, h_i, tag)
+                self._observe_wave(rnb, rhops, tag)
             if self.timeline is not None:
                 tl = self.timeline
-                for s, d, t_old_s, t_old_d, t_new_s, arr, w in zip(
-                    rs.tolist(),
-                    rd.tolist(),
-                    old_src.tolist(),
-                    old_dst.tolist(),
-                    new_src.tolist(),
-                    arrival.tolist(),
-                    wire.tolist(),
-                ):
-                    tl.add(s, "send", t_old_s, t_new_s, tag)
-                    if arr - w > t_old_d:
-                        tl.add(d, "idle", t_old_d, arr - w, tag)
-                    tl.add(d, "recv", max(t_old_d, arr - w), arr, tag)
+                if getattr(tl, "wave_api", False):
+                    tl.add_many(rs, "send", old_src, new_src, tag)
+                    idle_end = arrival - wire
+                    tl.add_many(rd, "idle", old_dst, idle_end, tag)
+                    tl.add_many(
+                        rd, "recv", np.maximum(old_dst, idle_end), arrival, tag
+                    )
+                else:
+                    for s, d, t_old_s, t_old_d, t_new_s, arr, w in zip(
+                        rs.tolist(),
+                        rd.tolist(),
+                        old_src.tolist(),
+                        old_dst.tolist(),
+                        new_src.tolist(),
+                        arrival.tolist(),
+                        wire.tolist(),
+                    ):
+                        tl.add(s, "send", t_old_s, t_new_s, tag)
+                        if arr - w > t_old_d:
+                            tl.add(d, "idle", t_old_d, arr - w, tag)
+                        tl.add(d, "recv", max(t_old_d, arr - w), arr, tag)
         # left-fold the float accumulators in message order so the
         # running sums round exactly like the scalar loop's; local
         # messages contribute no idle term, and their +0.0 entries in
@@ -543,22 +591,27 @@ class Network:
         # left-fold the float accumulators in pair order (scalar rounding)
         self._fold_stat_seconds(wire + cost.t_setup, idle_c)
         if self.metrics is not None:
-            for nb_i, h_i in zip(nbs.tolist(), hops.tolist()):
-                self._observe_message(nb_i, h_i, tag)
+            self._observe_wave(nbs, hops, tag)
         if self.timeline is not None:
             tl = self.timeline
-            for s, d, dep, arr, w, od in zip(
-                srcs.tolist(),
-                dsts.tolist(),
-                departs.tolist(),
-                arrival.tolist(),
-                wire.tolist(),
-                old_dst.tolist(),
-            ):
-                tl.add(s, "send", float(old[s]), dep, tag)
-                if arr - w > od:
-                    tl.add(d, "idle", od, arr - w, tag)
-                tl.add(d, "recv", max(od, arr - w), arr, tag)
+            if getattr(tl, "wave_api", False):
+                tl.add_many(srcs, "send", old[srcs], departs, tag)
+                idle_end = arrival - wire
+                tl.add_many(dsts, "idle", old_dst, idle_end, tag)
+                tl.add_many(dsts, "recv", np.maximum(old_dst, idle_end), arrival, tag)
+            else:
+                for s, d, dep, arr, w, od in zip(
+                    srcs.tolist(),
+                    dsts.tolist(),
+                    departs.tolist(),
+                    arrival.tolist(),
+                    wire.tolist(),
+                    old_dst.tolist(),
+                ):
+                    tl.add(s, "send", float(old[s]), dep, tag)
+                    if arr - w > od:
+                        tl.add(d, "idle", od, arr - w, tag)
+                    tl.add(d, "recv", max(od, arr - w), arr, tag)
         self.clocks = new
 
     def _contention_factors(self, srcs, dsts, nbs, topo: VirtualTopology):

@@ -9,7 +9,7 @@ import numpy as np
 __all__ = ["MessageRecord", "TraceStats"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageRecord:
     """One recorded message (only kept when tracing is enabled).
 
@@ -57,6 +57,12 @@ class TraceStats:
     skeleton_calls: int = 0
     records: list[MessageRecord] = field(default_factory=list)
     keep_records: bool = False
+    #: optional streaming consumer (:class:`repro.obs.stream.ObsSink`);
+    #: every message — scalar or wave — is forwarded to it *in emission
+    #: order*, so online aggregates see the exact event sequence that
+    #: ``keep_records`` would have materialized.  Wiring, not state:
+    #: :meth:`clear` leaves it attached.
+    sink: "object | None" = None
 
     def record_message(
         self,
@@ -75,6 +81,8 @@ class TraceStats:
             self.records.append(
                 MessageRecord(time, src, dst, nbytes, hops, tag, depart)
             )
+        if self.sink is not None:
+            self.sink.on_message(time, src, dst, nbytes, hops, tag, depart)
 
     def record_messages(
         self,
@@ -118,6 +126,8 @@ class TraceStats:
                         float(departs[i]),
                     )
                 )
+        if self.sink is not None:
+            self.sink.on_message_wave(times, srcs, dsts, nbytes, hops, tag, departs)
 
     def merge(self, other: "TraceStats") -> None:
         """Fold another stats object into this one (multi-phase runs).

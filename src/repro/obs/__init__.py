@@ -26,7 +26,13 @@ set:
   (``python -m repro.eval analyze``);
 * :mod:`repro.obs.regress` — the noise-aware **performance-regression
   gate** over committed benchmark/analysis snapshots
-  (``python -m repro.obs.regress``).
+  (``python -m repro.obs.regress``);
+* :mod:`repro.obs.stream` — the **streaming sinks** behind
+  ``Machine(trace_mode="stream")``: exact O(p) online aggregates,
+  seeded reservoir sampling of message records, a ring of recent
+  spans and a rotating JSONL spill, keeping observability memory
+  O(p + samples) at extreme scale (docs/OBSERVABILITY.md, "Streaming
+  mode").
 
 Everything is opt-in through ``Machine(trace_level=...)`` and costs a
 single ``is None`` check per operation when off, so the simulated
@@ -38,9 +44,22 @@ from repro.obs.analysis import (
     HappensBeforeDag,
     PathStep,
     RunAnalysis,
+    StreamAnalysis,
     analyze_machine,
+    analyze_stream,
     build_dag,
     critical_path,
+    format_stream_analysis,
+)
+from repro.obs.stream import (
+    ObsSink,
+    ProgressReporter,
+    StreamConfig,
+    StreamObserver,
+    StreamSpanTracer,
+    StreamTimeline,
+    compare_observers,
+    fold_recorded,
 )
 from repro.obs.metrics import (
     Counter,
@@ -81,4 +100,15 @@ __all__ = [
     "analyze_machine",
     "build_dag",
     "critical_path",
+    "StreamAnalysis",
+    "analyze_stream",
+    "format_stream_analysis",
+    "ObsSink",
+    "ProgressReporter",
+    "StreamConfig",
+    "StreamObserver",
+    "StreamSpanTracer",
+    "StreamTimeline",
+    "compare_observers",
+    "fold_recorded",
 ]

@@ -81,6 +81,9 @@ __all__ = [
     "skeleton_imbalance",
     "RunAnalysis",
     "analyze_machine",
+    "StreamAnalysis",
+    "analyze_stream",
+    "format_stream_analysis",
     "WhatIf",
     "whatif_scenarios",
     "run_whatif",
@@ -876,6 +879,194 @@ def analyze_machine(machine: "Machine") -> RunAnalysis:
         imbalance=skeleton_imbalance(machine.timeline, machine.tracer, machine.p),
         p=machine.p,
     )
+
+
+# ---------------------------------------------------------------------------
+# aggregated-mode analysis (trace_mode="stream")
+# ---------------------------------------------------------------------------
+@dataclass
+class StreamAnalysis:
+    """Load/straggler/imbalance report computed from streamed aggregates.
+
+    The streaming counterpart of :class:`RunAnalysis`: no DAG, no
+    critical path (those need the full record), but exact per-rank and
+    per-skeleton attribution at O(p + samples) memory.  ``loads`` uses
+    summed per-kind seconds rather than record-mode's overlap-merged
+    coverage, so a rank that sends and receives simultaneously can
+    exceed a busy fraction of 1 — documented in docs/OBSERVABILITY.md.
+    """
+
+    makespan: float
+    p: int
+    stats: dict
+    loads: list[RankLoad]
+    skeletons: list  # list[repro.obs.stream.SkeletonAgg], busiest first
+    straggler_rank: int
+    skew: float
+    tags: list[tuple[str, int, int]]  # (tag, messages, bytes)
+    accounting: dict
+    sampled_records: int
+
+    def component_totals(self) -> dict[str, float]:
+        """Bounded compute/comm/idle attribution from the exact stats
+        counters (the latency/bandwidth split needs per-message records
+        and stays record-mode only)."""
+        return {
+            "compute": self.stats["compute_s"],
+            "comm": self.stats["comm_s"],
+            "idle": self.stats["idle_s"],
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-able summary (schema ``repro-stream-analyze/1``)."""
+        return {
+            "schema": "repro-stream-analyze/1",
+            "p": self.p,
+            "makespan_s": self.makespan,
+            "components": self.component_totals(),
+            "by_skeleton": {
+                agg.name: {
+                    "calls": agg.calls,
+                    "busy_s": agg.busy_total,
+                    "compute_s": agg.compute_seconds,
+                    "comm_s": agg.comm_seconds,
+                    "idle_s": agg.idle_seconds,
+                    "messages": agg.messages,
+                    "bytes": agg.bytes_sent,
+                    "duration_p50": agg.durations.quantile(0.5),
+                    "duration_p99": agg.durations.quantile(0.99),
+                }
+                for agg in self.skeletons
+            },
+            "rank_busy_fraction": {
+                str(l.rank): l.busy_fraction for l in self.loads
+            },
+            "straggler": {"rank": self.straggler_rank, "skew": self.skew},
+            "tags": {t: {"messages": m, "bytes": b} for t, m, b in self.tags},
+            "accounting": dict(self.accounting),
+        }
+
+
+def analyze_stream(machine: "Machine") -> StreamAnalysis:
+    """Aggregated-mode analysis of a ``trace_mode="stream"`` run.
+
+    Works entirely from the O(p) streamed aggregates — no DAG is built
+    and nothing is replayed, so it is safe at any p.  Requires
+    ``Machine(trace_level=2, trace_mode="stream")`` (the stream
+    timeline feeds the per-rank numbers).
+    """
+    obs = getattr(machine, "stream_obs", None)
+    if obs is None or machine.trace_level < 2:
+        raise AnalysisError(
+            "stream analysis needs Machine(trace_level=2, "
+            'trace_mode="stream") — use analyze_machine for record mode'
+        )
+    makespan = machine.time
+    busy = obs.timeline.busy_seconds_by_rank()
+    loads = [
+        RankLoad(
+            rank=r,
+            busy_seconds=float(busy[r]),
+            idle_seconds=max(0.0, makespan - float(busy[r])),
+            busy_fraction=float(busy[r]) / makespan if makespan > 0 else 0.0,
+        )
+        for r in range(machine.p)
+    ]
+    srt = sorted(busy.tolist())
+    n = len(srt)
+    median = srt[n // 2] if n % 2 else 0.5 * (srt[n // 2 - 1] + srt[n // 2])
+    mx = float(busy.max()) if n else 0.0
+    if median > 0.0:
+        skew = mx / median
+    else:
+        skew = float("inf") if mx > 0.0 else 1.0
+    skeletons = sorted(
+        (agg for (cat, _), agg in obs.span_aggs.items() if cat == "skeleton"),
+        key=lambda a: -a.busy_total,
+    )
+    tags = sorted(
+        (
+            (t, obs.tag_messages[t], obs.tag_bytes.get(t, 0))
+            for t in obs.tag_messages
+        ),
+        key=lambda row: -row[2],
+    )
+    return StreamAnalysis(
+        makespan=makespan,
+        p=machine.p,
+        stats=machine.stats.summary(),
+        loads=loads,
+        skeletons=skeletons,
+        straggler_rank=int(busy.argmax()) if n else 0,
+        skew=skew,
+        tags=tags,
+        accounting=obs.accounting(),
+        sampled_records=len(obs.reservoir),
+    )
+
+
+def format_stream_analysis(sa: StreamAnalysis, top: int = 8) -> str:
+    """Plain-text report of a streamed run's aggregates."""
+    lines: list[str] = []
+    lines.append(
+        f"streamed aggregates: p={sa.p}, makespan {sa.makespan:.6f}s "
+        f"({sa.stats['messages']} messages, "
+        f"{sa.stats['skeleton_calls']} skeleton calls)"
+    )
+    totals = sa.component_totals()
+    busy_total = math.fsum(totals.values()) or 1.0
+    lines.append(f"{'component':<14}{'seconds':>12}{'share':>8}")
+    for c, v in totals.items():
+        lines.append(f"{c:<14}{v:>12.6f}{v / busy_total:>8.1%}")
+
+    lines.append("")
+    lines.append("per-skeleton aggregates (inclusive of nested skeletons):")
+    lines.append(
+        f"{'skeleton':<26}{'calls':>6}{'busy [s]':>11}{'compute':>9}"
+        f"{'comm':>7}{'idle':>7}{'p50 [s]':>10}{'p99 [s]':>10}"
+    )
+    for agg in sa.skeletons[:top]:
+        b = agg.busy_total or 1.0
+        lines.append(
+            f"{agg.name:<26}{agg.calls:>6}{agg.busy_total:>11.6f}"
+            f"{agg.compute_seconds / b:>8.0%}{agg.comm_seconds / b:>7.0%}"
+            f"{agg.idle_seconds / b:>7.0%}"
+            f"{agg.durations.quantile(0.5):>10.2e}"
+            f"{agg.durations.quantile(0.99):>10.2e}"
+        )
+
+    lines.append("")
+    lines.append("rank loads (summed busy seconds / makespan):")
+    if sa.loads:
+        worst = min(sa.loads, key=lambda l: l.busy_fraction)
+        best = max(sa.loads, key=lambda l: l.busy_fraction)
+        mean = math.fsum(l.busy_fraction for l in sa.loads) / len(sa.loads)
+        skew = f"{sa.skew:.2f}" if math.isfinite(sa.skew) else "inf"
+        lines.append(
+            f"  mean {mean:.1%}   busiest rank {best.rank} "
+            f"{best.busy_fraction:.1%}   idlest rank {worst.rank} "
+            f"{worst.busy_fraction:.1%}   straggler rank "
+            f"{sa.straggler_rank} (skew {skew})"
+        )
+
+    lines.append("")
+    lines.append("message traffic by tag:")
+    lines.append(f"{'tag':<20}{'messages':>10}{'bytes':>14}")
+    for t, msgs, nbytes in sa.tags[:top]:
+        lines.append(f"{t:<20}{msgs:>10}{nbytes:>14}")
+
+    acc = sa.accounting
+    lines.append("")
+    lines.append(
+        f"memory: {acc['per_rank_cells']} per-rank cells, "
+        f"{acc['records_retained']}/{acc['records_cap']} sampled records "
+        f"(of {acc['messages_seen']} seen), "
+        f"{acc['spans_retained']}/{acc['spans_cap']} ringed spans "
+        f"(of {acc['spans_seen']} seen), "
+        f"{acc['intervals_retained']} retained intervals "
+        f"(of {acc['intervals_seen']} seen)"
+    )
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------

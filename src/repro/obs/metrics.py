@@ -16,6 +16,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+import numpy as np
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -87,6 +89,32 @@ class Histogram:
         self.count += 1
         self.min = v if self.min is None else min(self.min, v)
         self.max = v if self.max is None else max(self.max, v)
+
+    def observe_many(self, values) -> None:
+        """Vectorized :meth:`observe` over a sequence of values.
+
+        Bit-identical to observing the values one at a time in order:
+        bucketing uses ``searchsorted`` (same semantics as
+        ``bisect_left``), and the running ``total`` is folded with a
+        seeded left-to-right ``np.add.accumulate`` so the float rounding
+        matches the scalar ``+=`` loop exactly.  Min/max are order-free.
+        """
+        vals = np.asarray(values, dtype=np.float64)
+        k = int(vals.size)
+        if k == 0:
+            return
+        idx = np.searchsorted(np.asarray(self.buckets), vals, side="left")
+        for i, c in zip(*np.unique(idx, return_counts=True)):
+            self.counts[int(i)] += int(c)
+        buf = np.empty(k + 1, dtype=np.float64)
+        buf[0] = self.total
+        buf[1:] = vals
+        self.total = float(np.add.accumulate(buf)[-1])
+        self.count += k
+        lo = float(vals.min())
+        hi = float(vals.max())
+        self.min = lo if self.min is None else min(self.min, lo)
+        self.max = hi if self.max is None else max(self.max, hi)
 
     @property
     def mean(self) -> float:
@@ -183,6 +211,12 @@ class MetricsRegistry:
         self, name: str, value: float, buckets: tuple[float, ...] = POW2_BUCKETS
     ) -> None:
         self.histogram(name, buckets=buckets).observe(value)
+
+    def observe_many(
+        self, name: str, values, buckets: tuple[float, ...] = POW2_BUCKETS
+    ) -> None:
+        """Vectorized :meth:`observe`; see :meth:`Histogram.observe_many`."""
+        self.histogram(name, buckets=buckets).observe_many(values)
 
     # ------------------------------------------------------------ output
     def snapshot(self) -> dict[str, dict]:

@@ -89,7 +89,7 @@ class SpanTracer:
         span = Span(
             name=name,
             category=category,
-            index=len(self.spans),
+            index=self._issue_index(),
             parent=parent,
             depth=len(self._stack),
             begin_time=self.network.time,
@@ -102,9 +102,28 @@ class SpanTracer:
             bytes_sent=self.stats.bytes_sent,
             clocks=self.network.clocks.copy(),
         )
-        self.spans.append(span)
+        self._register(span)
         self._stack.append((span, snap))
         return span
+
+    # -------------------------------------------------------------- hooks
+    # Retention policy is factored into three overridable hooks so the
+    # streaming tracer (:class:`repro.obs.stream.StreamSpanTracer`) can
+    # keep only the open stack: indices stay monotone, closed spans flow
+    # to an observer instead of accumulating in :attr:`spans`.  ``begin``
+    # reads the parent index off the stacked Span object and ``end``
+    # never indexes :attr:`spans`, so subclasses may drop retention
+    # entirely without breaking the pairing logic.
+    def _issue_index(self) -> int:
+        """Index for the span about to begin."""
+        return len(self.spans)
+
+    def _register(self, span: Span) -> None:
+        """A span began; default retains it in :attr:`spans`."""
+        self.spans.append(span)
+
+    def _finalize(self, span: Span) -> None:
+        """A span closed with its attribution filled in; default no-op."""
 
     def end(self, span: Span | None = None) -> Span:
         """Close the innermost span (or *span*, which must be innermost)."""
@@ -125,6 +144,7 @@ class SpanTracer:
         top.bytes_sent = self.stats.bytes_sent - snap.bytes_sent
         moved = self.network.clocks != snap.clocks
         top.ranks = tuple(int(r) for r in moved.nonzero()[0])
+        self._finalize(top)
         return top
 
     def end_through(self, span: Span) -> Span:

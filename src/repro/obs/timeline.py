@@ -19,7 +19,7 @@ RECV = "recv"
 IDLE = "idle"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Interval:
     """One contiguous activity of one rank, in simulated seconds."""
 

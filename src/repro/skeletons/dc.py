@@ -160,7 +160,7 @@ def divide_and_conquer(
         ctx.machine.cost,
         ctx.machine.topology(ctx.default_distr),
         stats=ctx.machine.stats,
-        timeline=ctx.machine.timeline,
+        timeline=ctx.machine.obs_timeline,
         metrics=ctx.machine.metrics,
         t0=ctx.machine.time,
     )

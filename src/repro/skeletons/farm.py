@@ -97,7 +97,7 @@ def farm(
         ctx.machine.cost,
         ctx.machine.topology(ctx.default_distr),
         stats=ctx.machine.stats,
-        timeline=ctx.machine.timeline,
+        timeline=ctx.machine.obs_timeline,
         metrics=ctx.machine.metrics,
         t0=ctx.machine.time,
     )

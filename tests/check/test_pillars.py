@@ -92,11 +92,37 @@ class TestBatchPillar:
         assert out.count("[batch]") == 2
 
 
+class TestStreamPillar:
+    def test_small_budget_green(self):
+        from repro.check import run_stream
+
+        res = run_stream(seed=0, budget=9)
+        assert res.ok, format_result(res)
+        assert res.trials == 9
+        # the three trial families interleave round-robin
+        assert sum(v for k, v in res.coverage.items()
+                   if k.startswith("stream.app_")) == 3
+        assert sum(v for k, v in res.coverage.items()
+                   if k.startswith("stream.engine_")) == 3
+
+    def test_raw_seed_replay(self):
+        from repro.check.streamcheck import run_stream_raw
+
+        res = run_stream_raw(6 * 1_000_003 + 1, budget=2)
+        assert res.trials == 2
+        assert res.ok, format_result(res)
+
+    def test_cli_pillar_registered(self, capsys):
+        assert main(["stream", "--seed", "2", "--budget", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "[stream]" in out
+
+
 class TestCli:
     def test_all_green_exit_zero(self, capsys):
         assert main(["all", "--seed", "0", "--budget", "6"]) == 0
         out = capsys.readouterr().out
-        for pillar in ("fuzz", "oracle", "diff"):
+        for pillar in ("fuzz", "oracle", "diff", "stream"):
             assert f"[{pillar}]" in out
         assert "0 failure(s)" in out
 

@@ -1,0 +1,45 @@
+"""The ``obs_overhead`` bench micro: trace modes must not perturb the
+simulation, the schema must validate, and old committed baselines
+without the section must stay acceptable."""
+
+from repro.eval.bench import (
+    BENCH_SCHEMA,
+    OBS_OVERHEAD_LIMIT,
+    run_obs_overhead,
+    validate_schema,
+)
+
+
+class TestObsOverhead:
+    def test_sim_identical_across_trace_modes(self):
+        entry = run_obs_overhead(quick=True, repeat=1, seed=0)
+        assert entry["sim_identical"] is True
+        assert entry["off_s"] > 0
+        assert entry["stream_overhead"] is not None
+
+    def test_schema_tolerates_old_docs_without_section(self):
+        doc = {
+            "schema": BENCH_SCHEMA,
+            "microbench": [{
+                "name": "map", "fused_s": 1.0, "unfused_s": 2.0,
+                "speedup": 2.0, "sim_identical": True,
+            }],
+            "end_to_end": [],
+        }
+        assert validate_schema(doc) == []
+
+    def test_schema_checks_present_section(self):
+        doc = {
+            "schema": BENCH_SCHEMA,
+            "microbench": [{
+                "name": "map", "fused_s": 1.0, "unfused_s": 2.0,
+                "speedup": 2.0, "sim_identical": True,
+            }],
+            "end_to_end": [],
+            "obs_overhead": {"name": "x"},  # missing the timing keys
+        }
+        problems = validate_schema(doc)
+        assert any("obs_overhead" in p for p in problems)
+
+    def test_limit_is_sane(self):
+        assert 1.0 < OBS_OVERHEAD_LIMIT <= 20.0

@@ -1,0 +1,240 @@
+"""Unit tests of the streaming observability primitives
+(:mod:`repro.obs.stream`): reservoir, ring, spill writer, stream
+timeline, accounting bounds, progress reporter, and the ``__slots__``
+memory satellites."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SkilError
+from repro.machine.machine import Machine
+from repro.machine.trace import MessageRecord
+from repro.obs.stream import (
+    JsonlSpillWriter,
+    ProgressReporter,
+    ReservoirSampler,
+    SpanRing,
+    StreamConfig,
+    StreamObserver,
+    StreamTimeline,
+)
+from repro.obs.timeline import Interval, Timeline
+
+
+def _msg(i: int) -> tuple:
+    return (float(i), i % 4, (i + 1) % 4, 128, 1, "t", float(i) - 0.5)
+
+
+class TestReservoir:
+    def test_fill_phase_keeps_everything(self):
+        r = ReservoirSampler(16, seed=1)
+        for i in range(10):
+            r.offer(*_msg(i))
+        assert r.seen == 10
+        assert len(r.items) == 10
+
+    def test_capacity_is_never_exceeded(self):
+        r = ReservoirSampler(8, seed=1)
+        for i in range(1000):
+            r.offer(*_msg(i))
+        assert r.seen == 1000
+        assert len(r.items) == 8
+
+    def test_deterministic_under_seed(self):
+        a, b = ReservoirSampler(8, seed=42), ReservoirSampler(8, seed=42)
+        for i in range(500):
+            a.offer(*_msg(i))
+            b.offer(*_msg(i))
+        assert a.items == b.items
+
+    def test_wave_offer_tracks_scalar_seen(self):
+        """Wave offers advance ``seen`` exactly like scalar offers and
+        respect the capacity; contents may differ (documented)."""
+        scalar = ReservoirSampler(8, seed=3)
+        wave = ReservoirSampler(8, seed=3)
+        k = 300
+        for i in range(k):
+            scalar.offer(*_msg(i))
+        wave.offer_wave(
+            np.arange(k, dtype=np.float64),
+            np.arange(k) % 4,
+            (np.arange(k) + 1) % 4,
+            np.full(k, 128),
+            np.ones(k, dtype=np.int64),
+            "t",
+            np.arange(k, dtype=np.float64) - 0.5,
+        )
+        assert wave.seen == scalar.seen == k
+        assert len(wave.items) == len(scalar.items) == 8
+
+    def test_clear_reseeds(self):
+        r = ReservoirSampler(4, seed=9)
+        for i in range(100):
+            r.offer(*_msg(i))
+        first = list(r.items)
+        r.clear()
+        assert r.seen == 0 and len(r) == 0
+        for i in range(100):
+            r.offer(*_msg(i))
+        assert r.items == first  # same seed, same offers, same draws
+
+
+class TestSpanRing:
+    def test_keeps_only_the_tail(self):
+        ring = SpanRing(3)
+        for i in range(10):
+            ring.append(i)  # any object works; ring is type-agnostic
+        assert ring.seen == 10
+        assert ring.items() == [7, 8, 9]
+
+    def test_zero_capacity(self):
+        ring = SpanRing(0)
+        ring.append(1)
+        assert ring.seen == 1 and ring.items() == []
+
+
+class TestSpillWriter:
+    def test_writes_parseable_jsonl(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        with JsonlSpillWriter(str(path)) as w:
+            for i in range(5):
+                w.write_event({"ph": "X", "ts": i})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        assert all(json.loads(ln)["ph"] == "X" for ln in lines)
+        assert w.events_written == 5
+
+    def test_rotation_bounds_each_file(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        with JsonlSpillWriter(str(path), max_bytes=200, keep=2) as w:
+            for i in range(100):
+                w.write_event({"ph": "X", "ts": i, "pad": "x" * 20})
+        assert w.rotations > 0
+        assert path.stat().st_size <= 200 + 64  # one line of slack
+        assert (tmp_path / "spill.jsonl.1").exists()
+        assert (tmp_path / "spill.jsonl.2").exists()
+        # keep=2 means nothing older than .2 survives
+        assert not (tmp_path / "spill.jsonl.3").exists()
+
+
+class TestStreamTimeline:
+    def test_scalar_add_matches_record_timeline(self):
+        st = StreamTimeline(4)
+        tl = Timeline()
+        ivs = [(0, "compute", 0.0, 1.5), (1, "send", 0.5, 0.75),
+               (0, "idle", 1.5, 1.5),  # zero length: dropped by both
+               (2, "recv", 1.0, 0.25)]  # negative: dropped by both
+        for r, k, s, e in ivs:
+            st.add(r, k, s, e)
+            tl.add(r, k, s, e)
+        assert st.intervals_seen == len(tl)
+        assert st.seconds["compute"][0] == 1.5
+        assert st.counts["send"][1] == 1
+        assert st.span(0) == (0.0, 1.5)
+
+    def test_add_many_matches_scalar_loop_bitwise(self):
+        rng = np.random.default_rng(5)
+        p, k = 8, 200
+        ranks = rng.integers(0, p, k)
+        starts = rng.uniform(0, 1, k)
+        ends = starts + rng.uniform(-0.1, 0.3, k)  # some dropped
+        scalar, wave = StreamTimeline(p), StreamTimeline(p)
+        for r, s, e in zip(ranks, starts, ends):
+            scalar.add(int(r), "send", float(s), float(e))
+        wave.add_many(ranks, "send", starts, ends)
+        assert np.array_equal(scalar.seconds["send"], wave.seconds["send"])
+        assert np.array_equal(scalar.counts["send"], wave.counts["send"])
+        assert np.array_equal(scalar.first_start, wave.first_start)
+        assert np.array_equal(scalar.last_end, wave.last_end)
+        assert scalar.intervals_seen == wave.intervals_seen
+
+    def test_busy_excludes_idle(self):
+        st = StreamTimeline(2)
+        st.add(0, "compute", 0.0, 1.0)
+        st.add(0, "idle", 1.0, 3.0)
+        assert st.busy_seconds_by_rank()[0] == 1.0
+        assert st.idle_seconds_by_rank()[0] == 2.0
+
+
+class TestAccounting:
+    def test_bounded_by_construction(self):
+        obs = StreamObserver(16, StreamConfig(sample_size=32, ring_size=8))
+        for i in range(5000):
+            obs.on_message(float(i), i % 16, (i + 3) % 16, 64, 2, "t", float(i))
+        acc = obs.accounting()
+        assert acc["messages_seen"] == 5000
+        assert acc["records_retained"] <= 32
+        assert acc["intervals_retained"] == 0
+        assert acc["per_rank_cells"] <= 64 * 16
+        obs.assert_bounded()  # must not raise
+
+    def test_assert_bounded_raises_on_violation(self):
+        obs = StreamObserver(4, StreamConfig(sample_size=4))
+        obs.reservoir.items.extend([None] * 10)  # corrupt past the cap
+        with pytest.raises(SkilError):
+            obs.assert_bounded()
+
+    def test_trace_memory_stays_o_p_at_scale(self):
+        """Acceptance-criterion shape at small scale: message volume
+        grows, retained state does not."""
+        obs = StreamObserver(64, StreamConfig(sample_size=16, ring_size=4))
+        baseline = obs.accounting()["per_rank_cells"]
+        k = 20000
+        obs.on_message_wave(
+            np.arange(k, dtype=np.float64),
+            np.arange(k) % 64,
+            (np.arange(k) + 1) % 64,
+            np.full(k, 256),
+            np.ones(k, dtype=np.int64),
+            "big",
+            None,
+        )
+        acc = obs.accounting()
+        assert acc["messages_seen"] == k
+        assert acc["per_rank_cells"] == baseline
+        assert acc["records_retained"] <= 16
+
+
+class TestProgressReporter:
+    def test_note_and_heartbeat_lines(self, capsys):
+        import io
+
+        buf = io.StringIO()
+        clock_t = [0.0]
+        rep = ProgressReporter(out=buf, interval=5.0,
+                               clock=lambda: clock_t[0])
+        rep.note("step one")
+        assert "step one" in buf.getvalue()
+        assert rep.maybe_report() is True
+        clock_t[0] = 1.0
+        assert rep.maybe_report() is False  # throttled
+        clock_t[0] = 7.0
+        assert rep.maybe_report() is True
+
+    def test_machine_line_has_sim_state(self):
+        import io
+
+        m = Machine(4, trace_level=2, trace_mode="stream")
+        m.network.compute(1e-3)
+        buf = io.StringIO()
+        rep = ProgressReporter(m, out=buf, total_sim_hint=2e-3)
+        line = rep.format_line()
+        assert "sim=" in line and "eta=" in line
+
+
+class TestSlots:
+    """Satellite: per-record memory drop via ``__slots__``."""
+
+    def test_message_record_has_no_dict(self):
+        rec = MessageRecord(0.0, 0, 1, 8, 1, "t", 0.0)
+        assert not hasattr(rec, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            rec.extra = 1
+
+    def test_interval_has_no_dict(self):
+        iv = Interval(0, "compute", 0.0, 1.0, "")
+        assert not hasattr(iv, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            iv.extra = 1

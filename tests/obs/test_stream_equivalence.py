@@ -1,0 +1,198 @@
+"""Record-vs-stream equivalence: the bit-identity contract of
+``Machine(trace_mode="stream")`` on real workloads, plus the shared
+accumulator contracts (``TraceStats.merge``, reset, metrics isolation)
+under the sink path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SkilError
+from repro.machine.machine import Machine
+from repro.machine.trace import TraceStats
+from repro.obs.metrics import global_metrics, isolated_metrics
+from repro.obs.stream import StreamConfig, compare_observers, fold_recorded
+from repro.skeletons import PLUS, SkilContext
+
+
+def _run_shpaths(machine, n=8, seed=3):
+    from repro.apps.shortest_paths import random_distance_matrix, shpaths
+
+    shpaths(SkilContext(machine), random_distance_matrix(n, seed=seed))
+
+
+def _pair(p=4, **cfg):
+    config = StreamConfig(**cfg) if cfg else None
+    m_rec = Machine(p, trace_level=2)
+    m_str = Machine(p, trace_level=2, trace_mode="stream", stream=config)
+    return m_rec, m_str
+
+
+class TestAppEquivalence:
+    def test_shpaths_aggregates_bit_identical(self):
+        m_rec, m_str = _pair(4)
+        with isolated_metrics():
+            _run_shpaths(m_rec)
+        with isolated_metrics():
+            _run_shpaths(m_str)
+        assert np.array_equal(m_rec.network.clocks, m_str.network.clocks)
+        fold = fold_recorded(m_rec, m_str.stream_obs.config)
+        assert compare_observers(fold, m_str.stream_obs) == []
+
+    def test_metrics_registries_identical(self):
+        m_rec, m_str = _pair(4)
+        with isolated_metrics():
+            _run_shpaths(m_rec)
+        with isolated_metrics():
+            _run_shpaths(m_str)
+        assert m_rec.metrics.render_text() == m_str.metrics.render_text()
+
+    def test_engine_workload_bit_identical(self):
+        from repro.skeletons.functional import skil_fn as sf
+
+        def run(machine):
+            ctx = SkilContext(machine)
+            is_trivial = sf(ops=1)(lambda pb: len(pb) <= 2)
+            solve = sf(ops=1)(lambda pb: sum(pb))
+            split = sf(ops=1)(
+                lambda pb: [pb[: len(pb) // 2], pb[len(pb) // 2:]]
+            )
+            join = sf(ops=1)(lambda rs: sum(rs))
+            ctx.divide_and_conquer(
+                is_trivial, solve, split, join, list(range(24))
+            )
+            ctx.farm(sf(ops=2)(lambda t: t + 1), list(range(9)),
+                     size_of=lambda t: 1)
+
+        m_rec, m_str = _pair(4)
+        with isolated_metrics():
+            run(m_rec)
+        with isolated_metrics():
+            run(m_str)
+        fold = fold_recorded(m_rec, m_str.stream_obs.config)
+        assert compare_observers(fold, m_str.stream_obs) == []
+
+    def test_reservoir_is_subset_of_recording(self):
+        m_rec, m_str = _pair(4, sample_size=8, seed=5)
+        with isolated_metrics():
+            _run_shpaths(m_rec)
+        with isolated_metrics():
+            _run_shpaths(m_str)
+        recorded = set(m_rec.stats.records)
+        assert m_str.stream_obs.reservoir.items  # something was sampled
+        for rec in m_str.stream_obs.reservoir.items:
+            assert rec in recorded
+
+
+class TestStreamMachineContracts:
+    def test_stream_machine_shape(self):
+        m = Machine(4, trace_level=2, trace_mode="stream")
+        assert m.timeline is None  # DAG analysis must refuse
+        assert m.stream_obs is not None
+        assert m.network.timeline is m.stream_obs.timeline
+        assert m.stats.sink is m.stream_obs
+        assert not m.stats.keep_records
+        assert m.obs_timeline is m.stream_obs.timeline
+
+    def test_record_machine_has_no_stream(self):
+        m = Machine(4, trace_level=2)
+        assert m.stream_obs is None
+        assert m.stats.sink is None
+        assert m.obs_timeline is m.timeline
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SkilError):
+            Machine(4, trace_mode="bogus")
+
+    def test_reset_clears_stream_state_in_place(self):
+        m = Machine(4, trace_level=2, trace_mode="stream")
+        obs = m.stream_obs
+        with isolated_metrics():
+            _run_shpaths(m)
+        assert obs.messages_seen > 0
+        m.reset()
+        assert m.stream_obs is obs  # cleared, not replaced
+        assert obs.messages_seen == 0
+        assert obs.timeline.intervals_seen == 0
+        assert obs.spans_seen == 0 and not obs.span_aggs
+        # the observer keeps observing after reset
+        with isolated_metrics():
+            _run_shpaths(m)
+        assert obs.messages_seen > 0
+
+    def test_merge_with_sink_attached(self):
+        """merge() is counter-level: it must fold numbers without
+        routing them through the sink (they were already streamed on
+        the other machine)."""
+        m = Machine(4, trace_level=2, trace_mode="stream")
+        seen_before = m.stream_obs.messages_seen
+        other = TraceStats(keep_records=True)
+        other.record_message(1.0, 0, 1, 64, 1, "x", depart=0.5)
+        other.compute_seconds += 2.0
+        m.stats.merge(other)
+        assert m.stats.messages == 1
+        assert m.stats.compute_seconds == 2.0
+        assert m.stats.records == other.records  # records carried over
+        assert m.stream_obs.messages_seen == seen_before  # sink untouched
+        assert m.stats.sink is m.stream_obs  # wiring survives merge
+
+    def test_clear_keeps_sink_wiring(self):
+        m = Machine(4, trace_level=2, trace_mode="stream")
+        m.stats.clear()
+        assert m.stats.sink is m.stream_obs
+
+    def test_isolated_metrics_leak_free_under_sink(self):
+        names_before = set(global_metrics().snapshot())
+        with isolated_metrics():
+            m = Machine(4, trace_level=2, trace_mode="stream")
+            _run_shpaths(m)
+        assert set(global_metrics().snapshot()) == names_before
+
+
+class TestAnalyzeStream:
+    def test_analyze_stream_reports(self):
+        from repro.obs.analysis import (
+            AnalysisError,
+            analyze_machine,
+            analyze_stream,
+            format_stream_analysis,
+        )
+
+        m = Machine(4, trace_level=2, trace_mode="stream")
+        with isolated_metrics():
+            _run_shpaths(m)
+        sa = analyze_stream(m)
+        assert sa.p == 4 and sa.makespan == m.time
+        assert sa.skeletons and sa.skeletons[0].calls > 0
+        assert 0 <= sa.straggler_rank < 4
+        snap = sa.snapshot()
+        assert snap["schema"] == "repro-stream-analyze/1"
+        text = format_stream_analysis(sa)
+        assert "streamed aggregates" in text
+        assert "straggler" in text
+        # mode guards, both directions
+        with pytest.raises(AnalysisError):
+            analyze_machine(m)
+        m_rec = Machine(4, trace_level=2)
+        with pytest.raises(AnalysisError):
+            analyze_stream(m_rec)
+
+    def test_fold_refuses_stream_machine(self):
+        m = Machine(4, trace_level=2, trace_mode="stream")
+        with pytest.raises(SkilError):
+            fold_recorded(m)
+
+
+class TestStreamTraceReport:
+    def test_stream_rows_are_inclusive_with_quantiles(self):
+        from repro.eval.trace_report import (
+            format_stream_skeleton_breakdowns,
+            stream_skeleton_breakdowns,
+        )
+
+        m = Machine(4, trace_level=2, trace_mode="stream")
+        with isolated_metrics():
+            _run_shpaths(m)
+        rows = stream_skeleton_breakdowns(m.stream_obs)
+        assert rows and rows[0].busy_total >= rows[-1].busy_total
+        text = format_stream_skeleton_breakdowns(rows)
+        assert "inclusive" in text and "p99" in text
