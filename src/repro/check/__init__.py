@@ -16,6 +16,7 @@ Three pillars, each seeded and replayable:
 See ``docs/TESTING.md`` for the seed-reproduction workflow.
 """
 
+from repro.check.backendcheck import run_backend
 from repro.check.diffcheck import run_diff
 from repro.check.fuzz import run_fuzz
 from repro.check.interp import Interp, InterpUnsupported
@@ -30,6 +31,7 @@ __all__ = [
     "run_diff",
     "run_batch",
     "run_stream",
+    "run_backend",
     "Interp",
     "InterpUnsupported",
     "CheckResult",

@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.check.backendcheck import run_backend, run_backend_raw
 from repro.check.dagcheck import run_dag, run_dag_raw
 from repro.check.diffcheck import run_diff, run_diff_raw
 from repro.check.fuzz import run_fuzz, run_fuzz_raw
@@ -34,7 +35,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument(
         "pillar",
-        choices=["fuzz", "oracle", "diff", "dag", "batch", "stream", "all"],
+        choices=["fuzz", "oracle", "diff", "dag", "batch", "stream", "backend",
+                 "all"],
         nargs="?",
         default="all",
         help="which pillar to run (default: all)",
@@ -70,7 +72,7 @@ def main(argv: list[str] | None = None) -> int:
         set_fusion_default(args.fused)
 
     pillars = (
-        ["fuzz", "oracle", "diff", "dag", "batch", "stream"]
+        ["fuzz", "oracle", "diff", "dag", "batch", "stream", "backend"]
         if args.pillar == "all"
         else [args.pillar]
     )
@@ -84,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
                 "dag": run_dag_raw,
                 "batch": run_batch_raw,
                 "stream": run_stream_raw,
+                "backend": run_backend_raw,
             }[pillar]
             res = runner(args.seed, args.budget)
         else:
@@ -94,6 +97,7 @@ def main(argv: list[str] | None = None) -> int:
                 "dag": run_dag,
                 "batch": run_batch,
                 "stream": run_stream,
+                "backend": run_backend,
             }[pillar]
             res = runner(
                 args.seed,

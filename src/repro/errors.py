@@ -28,6 +28,17 @@ class DeadlockError(MachineError):
     """The event-driven engine detected that no process can make progress."""
 
 
+class BackendError(MachineError):
+    """A real execution backend could not run a kernel.
+
+    Raised by the multiprocessing backend's closure-shipping path when an
+    instantiated kernel cannot be serialized for a worker process — the
+    message names the offending free variable — and by backend selection
+    for unknown backend names.  Never used for silent fallback: a kernel
+    either ships or the caller hears about it.
+    """
+
+
 class DistributionError(SkilError):
     """Invalid distribution parameters for a distributed array."""
 

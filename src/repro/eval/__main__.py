@@ -14,6 +14,7 @@ Usage::
                               [--json-out analyze.json] [--no-whatif]
    python -m repro.eval bench [--quick] [--out BENCH_perf.json]
                               [--check-against BENCH_perf.json]
+                              [--backend threads|mp]
 
 ``--scale 1.0`` (the default) runs the paper's exact problem sizes —
 the Table 2 grid takes a few minutes of wall-clock time because the
@@ -21,8 +22,11 @@ simulation really performs the numeric work; smaller scales shrink the
 matrices proportionally.
 
 Every subcommand accepts the shared observability flags ``--trace``,
-``--metrics-out`` and ``--quiet`` (see :mod:`repro.eval.cliopts`);
-``trace`` keeps ``--json`` as a back-compatible alias of ``--trace``.
+``--metrics-out``, ``--quiet`` and ``--backend`` (see
+:mod:`repro.eval.cliopts`); ``trace`` keeps ``--json`` as a
+back-compatible alias of ``--trace``.  ``--backend threads|mp`` runs
+the skeleton kernels on real cores — every artefact stays bit-identical
+because simulated time is charged analytically either way.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ import argparse
 import sys
 
 from repro.eval.cliopts import (
+    apply_backend,
     obs_parent,
     representative_obs_run,
     write_obs_artifacts,
@@ -166,6 +171,7 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = _build_parser()
     args = parser.parse_args(argv)
+    apply_backend(args.backend)
 
     if args.what == "trace":
         from repro.eval.tracecmd import run_trace_command

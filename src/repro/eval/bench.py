@@ -29,12 +29,22 @@ doubles as the perf-equivalence gate.
 ``map``/``fold``/``genmult``/``broadcast_part`` microbenchmarks against
 a previously committed ``BENCH_perf.json`` and fails (exit 1) when any
 of them regressed by more than 25 % — the CI ``bench-smoke`` contract.
+
+``--backend threads|mp`` additionally times the dispatch-eligible
+micros (``map``/``fold``) plus the communication-bound ``genmult`` on
+the requested real execution backend and records wall-clock vs the sim
+backend — together with the host's core count — into a ``backend``
+section of the report.  Simulated seconds must stay bit-identical
+(the backends never touch the cost model); on a host with ≥ 2 cores
+the ``threads`` ``map`` ``p=16`` micro is additionally gated at
+:data:`THREADS_MAP_SPEEDUP_FLOOR` × over sim.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -71,6 +81,20 @@ GATED_MICROS = {
 #: is a small constant factor; 8x leaves generous headroom for host
 #: noise while still catching an accidental per-message Python loop.
 OBS_OVERHEAD_LIMIT = 8.0
+
+#: micros timed under a real backend (--backend): the two block-dispatch
+#: paths plus the communication-bound genmult (which must *not* slow
+#: down — its rotations stay in the main process)
+BACKEND_MICROS = ("map", "fold", "genmult")
+
+#: processor counts for the backend section (64 would leave sub-cache
+#: blocks per rank — not the regime real dispatch targets)
+BACKEND_MICRO_PS = (4, 16)
+
+#: CI floor for the threads map p=16 wall-clock speedup over sim on a
+#: multi-core host; single-core hosts skip the gate (there is no
+#: parallel hardware for the thread pool to win on)
+THREADS_MAP_SPEEDUP_FLOOR = 1.5
 
 
 def _set_fusion(enabled: bool) -> bool:
@@ -400,6 +424,91 @@ def run_obs_overhead(quick: bool, repeat: int, seed: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# real execution backends — wall-clock vs cores
+# ---------------------------------------------------------------------------
+def _host_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def run_backend_bench(
+    backend: str, quick: bool, repeat: int | None, seed: int
+) -> dict:
+    """Time :data:`BACKEND_MICROS` under *backend* vs the sim backend.
+
+    Uses larger arrays than the fused-vs-per-rank micros: real dispatch
+    pays a fixed per-rank scheduling cost, so the honest regime is
+    blocks big enough for numpy to release the GIL on.  Each micro is
+    set up and timed twice — once with the sim backend, once with the
+    real one — through the same factory, with the backend chosen via
+    the process-wide default the factory's ``Machine(p)`` picks up.
+    The simulated seconds of both runs must be bit-identical: backends
+    execute kernels but never touch the analytic cost model.
+    """
+    from repro.machine.backend import (
+        backend_default,
+        default_workers,
+        set_backend_default,
+    )
+
+    if repeat is None:
+        repeat = 3 if quick else 5
+    n, m = (256, 64) if quick else (1536, 256)
+    iters = 3 if quick else 5
+    cores = _host_cores()
+    section: dict = {
+        "backend": backend,
+        "cores": cores,
+        "entries": [],
+    }
+    prior = backend_default()
+    available = _fusion_available()
+    if available:
+        from repro.skeletons.fuse import fusion_default
+
+        prior_fusion = fusion_default()
+    _set_fusion(True)  # block dispatch rides the fused layer
+    try:
+        for name in BACKEND_MICROS:
+            fn = MICROBENCHES[name]
+            for p in BACKEND_MICRO_PS:
+                set_backend_default("sim")
+                sim_s, sim_t = _time_best(fn(p, n, m, iters, seed), repeat)
+                set_backend_default(backend)
+                wall_s, real_t = _time_best(fn(p, n, m, iters, seed), repeat)
+                entry = {
+                    "name": name,
+                    "p": p,
+                    "n": n,
+                    "m": m,
+                    "iters": iters,
+                    "workers": default_workers(p),
+                    "sim_s": round(sim_s, 6),
+                    "wall_s": round(wall_s, 6),
+                    "speedup_vs_sim": round(sim_s / wall_s, 3)
+                    if wall_s > 0
+                    else None,
+                    "sim_seconds": real_t,
+                    "sim_identical": sim_t == real_t,
+                }
+                section["entries"].append(entry)
+                print(
+                    f"back  {name:7s} p={p:<3d} {backend}"
+                    f"({entry['workers']}w/{cores}c) "
+                    f"{entry['wall_s']:.4f}s  sim {entry['sim_s']:.4f}s  "
+                    f"speedup {entry['speedup_vs_sim']}x  "
+                    f"sim-identical={entry['sim_identical']}"
+                )
+    finally:
+        set_backend_default(prior)
+        if available:
+            _set_fusion(prior_fusion)
+    return section
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 def _run_pair(
@@ -539,6 +648,18 @@ def validate_schema(doc: dict) -> list[str]:
                     "stream_overhead", "sim_identical"):
             if key not in obs:
                 problems.append(f"obs_overhead missing {key!r}")
+    # the backend section is optional: present only when the harness ran
+    # with --backend threads|mp
+    back = doc.get("backend")
+    if back is not None:
+        for key in ("backend", "cores", "entries"):
+            if key not in back:
+                problems.append(f"backend missing {key!r}")
+        for i, e in enumerate(back.get("entries", [])):
+            for key in ("name", "p", "workers", "sim_s", "wall_s",
+                        "speedup_vs_sim", "sim_identical"):
+                if key not in e:
+                    problems.append(f"backend.entries[{i}] missing {key!r}")
     return problems
 
 
@@ -608,6 +729,12 @@ def main(argv: list[str] | None = None) -> int:
         e2e=not args.no_e2e,
         eval_all_scale=args.eval_all_scale,
     )
+    if args.backend in ("threads", "mp"):
+        report["backend"] = run_backend_bench(
+            args.backend, quick=args.quick, repeat=args.repeat, seed=args.seed
+        )
+    elif args.backend == "sim":
+        print("--backend sim is the baseline; no backend section recorded")
     problems = validate_schema(report)
     if problems:
         for pb in problems:
@@ -642,6 +769,37 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"{obs['name']}: stream-mode overhead {overhead}x exceeds "
                 f"the {OBS_OVERHEAD_LIMIT}x ceiling vs trace-off"
+            )
+    back = report.get("backend")
+    if back is not None:
+        for e in back["entries"]:
+            if not e.get("sim_identical", True):
+                failures.append(
+                    f"backend {back['backend']} {e['name']} p={e['p']}: "
+                    "simulated seconds differ from the sim backend "
+                    "(backends must never touch the cost model)"
+                )
+        if back["backend"] == "threads" and back["cores"] >= 2:
+            gate = next(
+                (e for e in back["entries"]
+                 if e["name"] == "map" and e["p"] == 16),
+                None,
+            )
+            if (
+                gate is not None
+                and gate["speedup_vs_sim"] is not None
+                and gate["speedup_vs_sim"] < THREADS_MAP_SPEEDUP_FLOOR
+            ):
+                failures.append(
+                    f"backend threads map p=16: wall-clock speedup "
+                    f"{gate['speedup_vs_sim']}x over sim is below the "
+                    f"{THREADS_MAP_SPEEDUP_FLOOR}x floor on a "
+                    f"{back['cores']}-core host"
+                )
+        elif back["cores"] < 2:
+            print(
+                "backend speedup gate skipped: single-core host "
+                "(the thread pool has no parallel hardware to win on)"
             )
     if args.check_against is not None:
         with open(args.check_against) as fh:

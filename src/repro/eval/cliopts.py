@@ -23,13 +23,26 @@ definitions cannot drift again:
 ``--quiet``
     Suppress progress notes, heartbeats and "written to ..." chatter;
     the command's primary report still prints.
+
+``--backend {sim,threads,mp}``
+    Execute skeleton kernels on a real backend (thread pool or worker
+    processes) instead of the in-process simulator.  Simulated seconds
+    are charged by the analytic :class:`~repro.machine.network.Network`
+    either way, so every artefact is bit-identical across backends —
+    the flag changes wall-clock behaviour only.  For ``bench`` it
+    additionally records a wall-clock-vs-cores ``backend`` section.
 """
 
 from __future__ import annotations
 
 import argparse
 
-__all__ = ["obs_parent", "write_obs_artifacts", "representative_obs_run"]
+__all__ = [
+    "apply_backend",
+    "obs_parent",
+    "representative_obs_run",
+    "write_obs_artifacts",
+]
 
 
 def obs_parent() -> argparse.ArgumentParser:
@@ -54,7 +67,23 @@ def obs_parent() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress progress notes and 'written to ...' chatter",
     )
+    g.add_argument(
+        "--backend",
+        choices=["sim", "threads", "mp"],
+        default=None,
+        help="execute skeleton kernels on this backend (default: the "
+        "REPRO_BACKEND env var, else sim); simulated seconds are "
+        "identical either way",
+    )
     return parent
+
+
+def apply_backend(name: str | None) -> None:
+    """Make ``--backend`` the process-wide default (no-op when unset)."""
+    if name is not None:
+        from repro.machine.backend import set_backend_default
+
+        set_backend_default(name)
 
 
 def write_obs_artifacts(

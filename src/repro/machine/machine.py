@@ -97,6 +97,18 @@ class Machine:
     stream:
         Optional :class:`~repro.obs.stream.StreamConfig` for
         ``trace_mode="stream"`` (sample sizes, spill path, seed).
+    backend:
+        Where fused skeleton kernels physically execute: ``"sim"``
+        (single process, the default), ``"threads"`` (thread pool over
+        the shared pools; numpy releases the GIL), ``"mp"`` (worker
+        processes over shared-memory pools with shipped closures), or a
+        ready-made :class:`~repro.machine.backend.ExecBackend`.  ``None``
+        consults :func:`~repro.machine.backend.backend_default`
+        (``REPRO_BACKEND``).  Simulated seconds are bit-identical across
+        backends — the network stays the only cost oracle.
+    workers:
+        Worker count for the real backends (default: ``REPRO_WORKERS``
+        or ``min(p, cores)``).
     """
 
     def __init__(
@@ -110,6 +122,8 @@ class Machine:
         trace_level: int = 0,
         trace_mode: str = "record",
         stream=None,
+        backend=None,
+        workers: int | None = None,
     ):
         if p <= 0:
             raise MachineError(f"need a positive processor count, got {p}")
@@ -174,12 +188,59 @@ class Machine:
         self.use_virtual_topologies = use_virtual_topologies
         self._memory = [_NodeMemory(cost.memory_bytes) for _ in range(p)]
         self._topologies: dict[str, VirtualTopology] = {}
+        from repro.machine.backend import make_backend
+
+        #: the :class:`~repro.machine.backend.ExecBackend` running fused
+        #: kernels; never touches the network, so it cannot perturb
+        #: simulated time
+        self.backend = make_backend(backend, p, workers)
+        self._closed = False
 
     # ------------------------------------------------------------------ time
     @property
     def time(self) -> float:
         """Simulated makespan so far (seconds)."""
         return self.network.time
+
+    # ---------------------------------------------------------------- backend
+    @property
+    def backend_name(self) -> str:
+        """``"sim"``, ``"threads"`` or ``"mp"``."""
+        return self.backend.name
+
+    def alloc_pool_buffer(self, shape, dtype) -> np.ndarray:
+        """Backend-visible zeroed buffer for a pooled distributed array
+        (shared memory under ``backend="mp"``, plain memory otherwise)."""
+        return self.backend.alloc_pool(shape, dtype)
+
+    def free_pool_buffer(self, pool: np.ndarray) -> None:
+        """Release a buffer from :meth:`alloc_pool_buffer`."""
+        self.backend.free_pool(pool)
+
+    def close(self) -> None:
+        """Tear down backend workers and shared-memory segments.
+
+        Idempotent; ``backend="sim"`` machines have nothing to release,
+        so existing code that never calls ``close()`` keeps working.
+        Real-backend users should close (or use the machine as a context
+        manager) so no ``/dev/shm`` segments outlive the run.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.backend.close()
+
+    def __enter__(self) -> "Machine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-exit ordering
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def reset(self) -> None:
         """Zero the clocks and statistics; keeps memory accounting.
@@ -205,6 +266,10 @@ class Machine:
             self.timeline.clear()
         if self.stream_obs is not None:
             self.stream_obs.clear()
+        # reseed/flush backend worker state too — without this,
+        # back-to-back trials in one process see stale worker caches and
+        # in-flight results from the previous trial (the flaky seam)
+        self.backend.reset()
 
     @property
     def obs_timeline(self):

@@ -1,0 +1,666 @@
+"""Worker processes, mailboxes and closure shipping for the real backends.
+
+The simulated :class:`~repro.machine.machine.Machine` charges analytic
+clocks in one Python process; the *real* backends
+(:mod:`repro.machine.backend`) additionally execute the numpy kernels on
+actual cores.  This module holds the runtime pieces the multiprocessing
+backend is built from, following the REENTRANTRUNTIME idiom (SNIPPETS.md
+Snippet 1: per-context state, local mailboxes, ``split``/``join``):
+
+* :class:`Mailbox` — a local mailbox with *selective receive*: messages
+  carry ``(src, dst, tag, seq)`` headers, a receiver may wait for a
+  specific ``(src, tag)`` or use the :data:`ANY` wildcard, and delivery
+  is FIFO per ``(src, dst, tag)`` stream (unmatched messages buffer
+  locally, exactly like an Erlang/REENTRANTRUNTIME mailbox);
+* :class:`SharedArena` — named ``multiprocessing.shared_memory``
+  segments handed out as numpy buffers, so worker processes operate on
+  the *same* pooled array storage the main process allocated (zero-copy
+  input); every segment is tracked and unlinked on :meth:`close`;
+* :func:`ship_kernel` / :func:`unship_kernel` — safe closure passing à
+  la Haller & Miller: a kernel function is decomposed into code object,
+  defaults, closure cells and the referenced globals, each captured
+  recursively; anything that cannot cross a process boundary raises a
+  typed :class:`~repro.errors.BackendError` **naming the offending free
+  variable** instead of silently falling back;
+* :class:`WorkerPool` — long-lived worker processes, one inbound
+  mailbox each plus a shared result mailbox, with crash detection (a
+  dead worker surfaces as :class:`~repro.errors.MachineError`, never a
+  hang) and idempotent teardown.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import marshal
+import os
+import pickle
+import queue as queue_mod
+import time
+import types
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import BackendError, MachineError
+
+__all__ = [
+    "ANY",
+    "Message",
+    "Mailbox",
+    "SharedArena",
+    "WorkerPool",
+    "ship_kernel",
+    "unship_kernel",
+    "shm_prefix",
+]
+
+
+class _Any:
+    """Wildcard matching every source / tag in :meth:`Mailbox.recv`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ANY"
+
+
+ANY = _Any()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One mailbox message.  ``seq`` is assigned per sender and makes the
+    per-``(src, dst, tag)`` delivery order observable in tests."""
+
+    src: int | str
+    dst: int | str
+    tag: str
+    seq: int
+    payload: Any = None
+
+
+class Mailbox:
+    """A local mailbox over a multiprocessing (or thread-safe) queue.
+
+    The queue is the transport; the mailbox adds *selective receive*:
+    :meth:`recv` returns the oldest buffered-or-arriving message whose
+    ``(src, tag)`` matches, buffering everything that does not match so
+    later receives still see it.  Because the transport is FIFO and the
+    buffer is scanned oldest-first, messages of one ``(src, dst, tag)``
+    stream are always delivered in send order.
+    """
+
+    #: how often a blocked receive polls the transport and the liveness
+    #: callback; coarse enough to stay cheap, fine enough that a worker
+    #: crash surfaces quickly
+    POLL_S = 0.05
+
+    def __init__(self, owner: int | str, queue=None):
+        self.owner = owner
+        self._q = queue if queue is not None else queue_mod.SimpleQueue()
+        self._buffer: deque[Message] = deque()
+
+    # ------------------------------------------------------------------ send
+    def post(self, msg: Message) -> None:
+        """Deliver *msg* into this mailbox (called by the sender side)."""
+        self._q.put(msg)
+
+    # ------------------------------------------------------------------ recv
+    def _matches(self, msg: Message, src, tag) -> bool:
+        return (src is ANY or msg.src == src) and (tag is ANY or msg.tag == tag)
+
+    def _drain(self) -> None:
+        while True:
+            try:
+                self._buffer.append(self._q.get_nowait())
+            except queue_mod.Empty:
+                return
+
+    def recv(
+        self,
+        src=ANY,
+        tag=ANY,
+        timeout: float | None = None,
+        liveness: Callable[[], None] | None = None,
+    ) -> Message:
+        """Receive the oldest message matching ``(src, tag)``.
+
+        *liveness* is called on every poll round; raising from it aborts
+        the wait (the worker pool uses it to turn a dead peer into a
+        :class:`MachineError` instead of an indefinite block).  On
+        *timeout* a :class:`MachineError` is raised.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self._drain()
+            for i, msg in enumerate(self._buffer):
+                if self._matches(msg, src, tag):
+                    del self._buffer[i]
+                    return msg
+            if liveness is not None:
+                liveness()
+            remaining = self.POLL_S
+            if deadline is not None:
+                remaining = min(remaining, deadline - time.monotonic())
+                if remaining <= 0:
+                    raise MachineError(
+                        f"mailbox {self.owner!r}: receive (src={src!r}, "
+                        f"tag={tag!r}) timed out after {timeout}s"
+                    )
+            try:
+                self._buffer.append(self._q.get(timeout=remaining))
+            except (queue_mod.Empty, AttributeError):
+                # SimpleQueue on some transports lacks timeout= — fall
+                # back to a plain poll sleep
+                if not hasattr(self._q, "get") or isinstance(
+                    self._q, queue_mod.SimpleQueue
+                ):
+                    time.sleep(min(0.001, remaining))
+
+    def drain_pending(self) -> int:
+        """Discard every buffered and queued message (reset support);
+        returns how many were dropped."""
+        self._drain()
+        n = len(self._buffer)
+        self._buffer.clear()
+        return n
+
+    def pending(self) -> int:
+        self._drain()
+        return len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory arena
+# ---------------------------------------------------------------------------
+def shm_prefix() -> str:
+    """Name prefix of every segment this process allocates — the
+    teardown tests glob ``/dev/shm`` for it."""
+    return f"repro{os.getpid()}_"
+
+
+#: process-global segment numbering: several machines (each with its
+#: own arena) can be alive at once, so per-arena counters would collide
+#: on the same /dev/shm name
+_SEGMENT_COUNTER = itertools.count()
+
+
+class SharedArena:
+    """Named shared-memory segments exposed as numpy arrays.
+
+    The main process allocates pool buffers here when the machine runs
+    the ``mp`` backend; workers attach by name and see the same bytes.
+    Every allocation is tracked so :meth:`close` can unlink everything —
+    after it, no ``/dev/shm/repro<pid>_*`` segment may remain.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, Any] = {}
+        self._by_addr: dict[int, tuple[str, int]] = {}  # addr -> (name, nbytes)
+        self._closed = False
+
+    def allocate(self, shape, dtype) -> np.ndarray:
+        from multiprocessing import shared_memory
+
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        name = f"{shm_prefix()}{next(_SEGMENT_COUNTER)}"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        arr = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+        arr.fill(0)
+        self._segments[name] = seg
+        self._by_addr[arr.__array_interface__["data"][0]] = (name, nbytes)
+        return arr
+
+    def descriptor(self, view: np.ndarray) -> tuple | None:
+        """Shippable descriptor of *view* if it lives in this arena:
+        ``(segment_name, byte_offset, shape, dtype_str, strides)``."""
+        addr = view.__array_interface__["data"][0]
+        for base_addr, (name, nbytes) in self._by_addr.items():
+            if base_addr <= addr < base_addr + max(1, nbytes):
+                return (
+                    name,
+                    addr - base_addr,
+                    view.shape,
+                    view.dtype.str if view.dtype.names is None else view.dtype,
+                    view.strides,
+                )
+        return None
+
+    def release(self, arr: np.ndarray) -> None:
+        """Unlink the segment backing *arr* (array destruction)."""
+        addr = arr.__array_interface__["data"][0]
+        entry = self._by_addr.pop(addr, None)
+        if entry is None:
+            return
+        name, _ = entry
+        seg = self._segments.pop(name, None)
+        if seg is not None:
+            del arr  # drop the exported buffer view before closing
+            seg.close()
+            seg.unlink()
+
+    def segment_names(self) -> list[str]:
+        return sorted(self._segments)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._by_addr.clear()
+
+
+def _attach_view(cache: dict, desc: tuple) -> np.ndarray:
+    """Worker side: materialise the numpy view a descriptor names."""
+    from multiprocessing import shared_memory
+
+    name, offset, shape, dtype, strides = desc
+    seg = cache.get(name)
+    if seg is None:
+        seg = shared_memory.SharedMemory(name=name, create=False)
+        cache[name] = seg
+    return np.ndarray(
+        shape, dtype=np.dtype(dtype), buffer=seg.buf, offset=offset,
+        strides=strides,
+    )
+
+
+# ---------------------------------------------------------------------------
+# closure shipping (safe closure passing, Haller & Miller style)
+# ---------------------------------------------------------------------------
+_FN_KIND = "fn"
+_MOD_KIND = "mod"
+_PICKLE_KIND = "pickle"
+_REF_KIND = "ref"
+_CELL_EMPTY = "empty-cell"
+
+
+def _global_names(code) -> set[str]:
+    """Every name the code object (or a nested one) may look up globally."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _global_names(const)
+    return names
+
+
+def _capture(obj, memo: dict, path: str):
+    """Recursively capture *obj* into a picklable tagged structure.
+
+    *path* names where the value came from (``kernel.closure.data``) so
+    a :class:`BackendError` can point at the offending free variable.
+    """
+    if id(obj) in memo:
+        return (_REF_KIND, memo[id(obj)])
+    if isinstance(obj, types.ModuleType):
+        return (_MOD_KIND, obj.__name__)
+    if isinstance(obj, types.FunctionType):
+        idx = len(memo)
+        memo[id(obj)] = idx
+        code = obj.__code__
+        globals_needed = {}
+        for name in sorted(_global_names(code)):
+            if name in obj.__globals__:
+                globals_needed[name] = _capture(
+                    obj.__globals__[name], memo, f"{path}.globals.{name}"
+                )
+        closure = None
+        if obj.__closure__ is not None:
+            closure = tuple(
+                _capture(
+                    cell.cell_contents, memo,
+                    f"{path}.closure.{var}",
+                )
+                if _cell_filled(cell)
+                else (_PICKLE_KIND, pickle.dumps(_CELL_EMPTY))
+                for var, cell in zip(code.co_freevars, obj.__closure__)
+            )
+        defaults = None
+        if obj.__defaults__ is not None:
+            defaults = tuple(
+                _capture(d, memo, f"{path}.defaults[{i}]")
+                for i, d in enumerate(obj.__defaults__)
+            )
+        kwdefaults = None
+        if obj.__kwdefaults__:
+            kwdefaults = {
+                k: _capture(v, memo, f"{path}.kwdefaults.{k}")
+                for k, v in obj.__kwdefaults__.items()
+            }
+        attrs = {
+            k: _capture(v, memo, f"{path}.{k}")
+            for k, v in vars(obj).items()
+        }
+        return (
+            _FN_KIND,
+            idx,
+            marshal.dumps(code),
+            obj.__name__,
+            defaults,
+            kwdefaults,
+            closure,
+            globals_needed,
+            attrs,
+        )
+    try:
+        return (_PICKLE_KIND, pickle.dumps(obj))
+    except Exception as exc:
+        raise BackendError(
+            f"kernel is not shippable to worker processes: free variable "
+            f"{path!r} = {obj!r} cannot be pickled ({exc})"
+        ) from None
+
+
+def _cell_filled(cell) -> bool:
+    try:
+        cell.cell_contents
+        return True
+    except ValueError:
+        return False
+
+
+def ship_kernel(fn: Callable) -> bytes:
+    """Serialize *fn* (a kernel function, possibly a closure) for a
+    worker process.  Raises :class:`BackendError` naming the first free
+    variable, default or global that cannot cross the boundary."""
+    name = getattr(fn, "__name__", repr(fn))
+    if isinstance(fn, types.FunctionType):
+        captured = _capture(fn, {}, name)
+    else:
+        # bound callables (Section instances, papply objects) must pickle
+        # as a whole; the error still names the object
+        captured = _capture(fn, {}, name)
+    return pickle.dumps(captured, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _rebuild(node, objects: dict):
+    kind = node[0]
+    if kind == _REF_KIND:
+        return objects[node[1]]
+    if kind == _MOD_KIND:
+        import importlib
+
+        return importlib.import_module(node[1])
+    if kind == _PICKLE_KIND:
+        return pickle.loads(node[1])
+    if kind == _FN_KIND:
+        (_, idx, code_bytes, name, defaults, kwdefaults, closure,
+         globals_needed, attrs) = node
+        code = marshal.loads(code_bytes)
+        g: dict = {"__builtins__": __builtins__}
+        fn = types.FunctionType(code, g, name)
+        objects[idx] = fn  # register before recursing (cycles)
+        for gname, sub in globals_needed.items():
+            g[gname] = _rebuild(sub, objects)
+        if defaults is not None:
+            fn.__defaults__ = tuple(_rebuild(d, objects) for d in defaults)
+        if kwdefaults is not None:
+            fn.__kwdefaults__ = {
+                k: _rebuild(v, objects) for k, v in kwdefaults.items()
+            }
+        if closure is not None:
+            cells = []
+            for sub in closure:
+                if sub == (_PICKLE_KIND, pickle.dumps(_CELL_EMPTY)):
+                    cells.append(types.CellType())
+                else:
+                    cells.append(types.CellType(_rebuild(sub, objects)))
+            fn = types.FunctionType(
+                code, g, name, fn.__defaults__, tuple(cells)
+            )
+            objects[idx] = fn
+            if kwdefaults is not None:
+                fn.__kwdefaults__ = {
+                    k: _rebuild(v, objects) for k, v in kwdefaults.items()
+                }
+        for k, sub in attrs.items():
+            setattr(fn, k, _rebuild(sub, objects))
+        return fn
+    raise BackendError(f"corrupt shipped kernel node {kind!r}")
+
+
+def unship_kernel(data: bytes) -> Callable:
+    """Reconstruct a kernel shipped with :func:`ship_kernel`."""
+    return _rebuild(pickle.loads(data), {})
+
+
+def kernel_fingerprint(data: bytes) -> str:
+    """Stable content id of a shipped kernel (worker-side cache key)."""
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# worker processes
+# ---------------------------------------------------------------------------
+#: control / task tags of the worker protocol
+TAG_TASK = "task"
+TAG_KERNEL = "kernel"
+TAG_RESULT = "result"
+TAG_RESET = "reset"
+TAG_STOP = "stop"
+
+MAIN = "main"
+
+
+def _worker_main(rank: int, inbox_q, result_q) -> None:
+    """Worker process loop: receive kernels and tasks, execute, reply.
+
+    Runs until a ``stop`` message (or EOF on the transport).  Defined at
+    module top level so the pool works under every start method.
+    """
+    import random as _random
+
+    inbox = Mailbox(rank, inbox_q)
+    kernels: dict[str, Callable] = {}
+    shm_cache: dict[str, Any] = {}
+    try:
+        while True:
+            msg = inbox.recv()
+            if msg.tag == TAG_STOP:
+                break
+            if msg.tag == TAG_RESET:
+                seed = msg.payload
+                _random.seed(seed + rank)
+                np.random.seed((seed + rank) % (2**32))
+                kernels.clear()
+                continue
+            if msg.tag == TAG_KERNEL:
+                kid, data = msg.payload
+                if kid not in kernels:
+                    kernels[kid] = unship_kernel(data)
+                continue
+            if msg.tag == TAG_TASK:
+                epoch, task_id, kid, arg_descs = msg.payload
+                try:
+                    args = [
+                        _attach_view(shm_cache, a[1]) if a[0] == "shm" else a[1]
+                        for a in arg_descs
+                    ]
+                    out = kernels[kid](*args)
+                    result_q.put(
+                        Message(rank, MAIN, TAG_RESULT, task_id,
+                                (epoch, "ok", np.asarray(out)))
+                    )
+                except Exception as exc:  # surfaced in the main process
+                    import traceback
+
+                    result_q.put(
+                        Message(
+                            rank, MAIN, TAG_RESULT, task_id,
+                            (
+                                epoch,
+                                "error",
+                                (type(exc).__name__, str(exc),
+                                 traceback.format_exc(limit=6)),
+                            ),
+                        )
+                    )
+                continue
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
+        pass
+    finally:
+        for seg in shm_cache.values():
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover
+                pass
+
+
+class WorkerPool:
+    """A fixed set of worker processes with per-worker mailboxes.
+
+    Tasks are distributed round-robin; results come back through one
+    shared result mailbox tagged with their task id, so out-of-order
+    completion is fine.  A worker dying mid-task raises
+    :class:`MachineError` instead of hanging (liveness is polled while
+    waiting on the result mailbox).
+    """
+
+    #: ceiling on waiting for one task batch; generous — real batches
+    #: finish in milliseconds, only a livelocked worker ever hits it
+    TIMEOUT_S = 120.0
+
+    def __init__(self, n_workers: int, start_method: str | None = None):
+        import multiprocessing as mp
+
+        if n_workers <= 0:
+            raise MachineError(f"need at least one worker, got {n_workers}")
+        method = start_method or os.environ.get("REPRO_MP_START") or (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        self._mp = mp.get_context(method)
+        self.n_workers = n_workers
+        self._result_q = self._mp.Queue()
+        self.results = Mailbox(MAIN, self._result_q)
+        self._inbox_qs = [self._mp.Queue() for _ in range(n_workers)]
+        self._procs = [
+            self._mp.Process(
+                target=_worker_main,
+                args=(w, self._inbox_qs[w], self._result_q),
+                daemon=True,
+                name=f"repro-worker-{w}",
+            )
+            for w in range(n_workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._seq = itertools.count()
+        self._shipped: set[tuple[int, str]] = set()  # (worker, kernel id)
+        self.epoch = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ send
+    def _check_alive(self) -> None:
+        if self._closed:
+            raise MachineError("worker pool is closed")
+        for w, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                code = proc.exitcode
+                raise MachineError(
+                    f"worker {w} died (exit code {code}); the machine's mp "
+                    "backend cannot continue — close() and rebuild the "
+                    "Machine"
+                )
+
+    def _post(self, worker: int, tag: str, payload) -> None:
+        self._inbox_qs[worker].put(
+            Message(MAIN, worker, tag, next(self._seq), payload)
+        )
+
+    def ensure_kernel(self, kid: str, data: bytes) -> None:
+        """Ship kernel *data* to every worker that has not seen it."""
+        for w in range(self.n_workers):
+            if (w, kid) not in self._shipped:
+                self._post(w, TAG_KERNEL, (kid, data))
+                self._shipped.add((w, kid))
+
+    def run_tasks(self, kid: str, arg_descs_per_task: list[list]) -> list:
+        """Execute one task per entry, round-robin over the workers;
+        returns results in task order."""
+        self._check_alive()
+        n = len(arg_descs_per_task)
+        for task_id, descs in enumerate(arg_descs_per_task):
+            self._post(
+                task_id % self.n_workers, TAG_TASK,
+                (self.epoch, task_id, kid, descs),
+            )
+        results: list = [None] * n
+        received = 0
+        deadline = time.monotonic() + self.TIMEOUT_S
+        while received < n:
+            if time.monotonic() > deadline:  # pragma: no cover - livelock
+                raise MachineError(
+                    f"worker pool: {n - received} task result(s) missing "
+                    f"after {self.TIMEOUT_S}s"
+                )
+            msg = self.results.recv(
+                tag=TAG_RESULT, timeout=self.TIMEOUT_S,
+                liveness=self._check_alive,
+            )
+            epoch, status, payload = msg.payload
+            if epoch != self.epoch:
+                continue  # stale result from before a reset()
+            if status == "error":
+                name, text, tb = payload
+                err = MachineError(
+                    f"worker {msg.src} task {msg.seq} raised {name}: {text}\n{tb}"
+                )
+                # the original exception class name, so callers can
+                # translate control-flow exceptions (FusionFallback)
+                err.worker_exc = name
+                raise err
+            results[msg.seq] = payload
+            received += 1
+        return results
+
+    # ------------------------------------------------------------------ reset
+    def reset(self, seed: int = 0) -> None:
+        """Discard in-flight state and reseed worker RNGs.
+
+        Results of tasks submitted before the reset are invalidated by
+        the epoch bump (a late arrival is dropped, never mistaken for a
+        new task's result) — the seam that made back-to-back trials in
+        one process flaky.
+        """
+        self.epoch += 1
+        self.results.drain_pending()
+        self._shipped.clear()
+        for w in range(self.n_workers):
+            self._post(w, TAG_RESET, seed)
+
+    # ------------------------------------------------------------------ close
+    def close(self, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for w, proc in enumerate(self._procs):
+            if proc.is_alive():
+                try:
+                    self._post(w, TAG_STOP, None)
+                except Exception:  # pragma: no cover - queue already dead
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in [*self._inbox_qs, self._result_q]:
+            try:
+                q.close()
+                q.join_thread()
+            except Exception:  # pragma: no cover
+                pass
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.close(timeout=0.5)
+        except Exception:
+            pass

@@ -28,6 +28,7 @@ import numpy as np
 from repro.arrays.darray import DistArray, default_grid
 from repro.arrays.distribution import BlockDistribution
 from repro.errors import SkeletonError
+from repro.skeletons import fuse
 from repro.skeletons.base import MapEnv, ops_of, skeleton_span
 from repro.skeletons.map import apply_fused
 
@@ -59,6 +60,19 @@ def array_create(
     arr = DistArray(ctx.machine, dist, dtype, distr)
 
     t_elem = ctx.elem_time(ops_of(init_elem))
+    fenv = fuse.FusedEnv(ctx.p)
+    blocks = fuse.dispatch_blocks(
+        ctx,
+        getattr(init_elem, "vectorized", None),
+        [(arr.index_grids(r), fenv) for r in range(ctx.p)],
+    )
+    if blocks is not None:
+        for r in range(ctx.p):
+            arr.local(r)[...] = np.broadcast_to(
+                np.asarray(blocks[r], dtype=arr.dtype), arr.local(r).shape
+            )
+        ctx.net.compute(dist.part_sizes() * t_elem)
+        return arr
     out = apply_fused(ctx, init_elem, (), arr.shape, dist)
     if out is not None:
         arr.pool[...] = np.asarray(out, dtype=arr.dtype)

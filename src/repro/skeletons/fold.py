@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
+from repro.skeletons import fuse
 from repro.skeletons.base import MapEnv, ops_of, skeleton_span
 from repro.skeletons.map import apply_fused
 
@@ -86,8 +87,29 @@ def array_fold(ctx, conv_f: Callable, fold_f: Callable, a: DistArray):
         # then fold each partition's slice of the converted whole —
         # ravel order inside a block matches the per-rank path, so the
         # local fold sees the elements in the identical sequence
-        conv_global = apply_fused(ctx, conv_f, (a.pool,), a.shape, a.dist)
-        if conv_global is not None:
+        # real backends convert the partitions in parallel (the local
+        # folds stay in the main process: cheap, and fold order must be
+        # the sequential left-to-right reduce)
+        fenv = fuse.FusedEnv(ctx.p)
+        converted = fuse.dispatch_blocks(
+            ctx,
+            getattr(conv_f, "vectorized", None),
+            [(a.local(r), a.index_grids(r), fenv) for r in range(ctx.p)],
+        )
+        conv_global = (
+            None
+            if converted is not None
+            else apply_fused(ctx, conv_f, (a.pool,), a.shape, a.dist)
+        )
+        if converted is not None:
+            for r in range(ctx.p):
+                vals = np.broadcast_to(
+                    np.asarray(converted[r]), a.local(r).shape
+                )
+                partials.append(_local_fold(fold_f, vals))
+            sizes = a.dist.part_sizes()
+            per_rank = sizes * t_conv + np.maximum(0, sizes - 1) * t_fold
+        elif conv_global is not None:
             dist = a.dist
             for r in range(ctx.p):
                 partials.append(

@@ -49,6 +49,7 @@ __all__ = [
     "set_fusion_default",
     "kernel_fusability",
     "remember_fusability",
+    "dispatch_blocks",
     "interleaved_view",
     "stacked_blocks",
 ]
@@ -129,6 +130,43 @@ def remember_fusability(vec: Callable, ok: bool) -> None:
         vec._fused_ok = bool(ok)
     except (AttributeError, TypeError):
         pass
+
+
+def dispatch_blocks(ctx, vec: Callable | None, tasks: list[tuple]) -> list | None:
+    """Run *vec* over per-rank task tuples on the machine's real backend.
+
+    ``tasks[r]`` is the argument tuple of rank *r* — exactly what the
+    sequential per-rank loop would pass, except the env slot holds a
+    :class:`FusedEnv` (parallel workers must not see a per-rank
+    ``MapEnv``; this is the env_free audit).  Returns the raw kernel
+    outputs in rank order, or ``None`` when the work stays sequential:
+
+    * the backend is ``sim`` (``backend.parallel`` is false),
+    * the kernel is not *known* env-free (``kernel_fusability`` is not
+      ``True`` — unknown kernels get probed by the fused path first and
+      dispatch from their next call on),
+    * the kernel's env use turns out to be conditional and it raises
+      :class:`FusionFallback` (locally or inside a worker).
+
+    A :class:`~repro.errors.BackendError` from the mp closure-shipping
+    path **propagates** — an unshippable kernel is an error the caller
+    must hear about, never a silent fallback.
+
+    Bit-identity: the backend returns results in task (= rank) order and
+    every kernel call receives the same block, grids and element
+    arithmetic as the sequential loop, so the values written back are
+    the sequential values; simulated seconds are charged by the caller
+    from partition geometry alone and never touch the backend.
+    """
+    backend = getattr(ctx.machine, "backend", None)
+    if backend is None or not backend.parallel or vec is None:
+        return None
+    if kernel_fusability(vec) is not True:
+        return None
+    try:
+        return backend.run_blocks(vec, tasks)
+    except FusionFallback:
+        return None
 
 
 def interleaved_view(pool: np.ndarray, grid: tuple[int, ...]) -> np.ndarray | None:

@@ -116,12 +116,49 @@ def _map_cost_vector(ctx, from_arr: DistArray, to_arr: DistArray, t_elem: float)
     return per_rank
 
 
+def dispatch_blocks(ctx, f, srcs: tuple, to_arr: DistArray) -> bool:
+    """Per-rank parallel execution on a real backend (threads/mp).
+
+    ``srcs`` are the input array(s); each rank's task is the same
+    ``vec(block(s), grids, env)`` call the sequential loop makes, with a
+    :class:`~repro.skeletons.fuse.FusedEnv` standing in for the per-rank
+    env (only known env-free kernels are dispatched, so the env is never
+    read).  Writes the target and returns ``True``, or returns ``False``
+    when the work stayed sequential.  No clocks are touched here — the
+    caller charges the same cost vector as the sequential paths.
+    """
+    vec = getattr(f, "vectorized", None)
+    lead = srcs[0]
+    fenv = fuse.FusedEnv(ctx.p)
+    tasks = [
+        tuple(s.local(r) for s in srcs) + (lead.index_grids(r), fenv)
+        for r in range(ctx.p)
+    ]
+    outs = fuse.dispatch_blocks(ctx, vec, tasks)
+    if outs is None:
+        return False
+    results = [
+        np.asarray(
+            np.broadcast_to(np.asarray(out), lead.local(r).shape),
+            dtype=to_arr.dtype,
+        )
+        for r, out in enumerate(outs)
+    ]
+    # deferred write-back, exactly like the sequential per-rank loop
+    for r in range(ctx.p):
+        to_arr.local(r)[...] = results[r]
+    return True
+
+
 @skeleton_span("array_map")
 def array_map(ctx, map_f: Callable, from_arr: DistArray, to_arr: DistArray) -> None:
     """Apply *map_f* to every element of *from_arr*, writing *to_arr*."""
     ctx.check_same_shape("array_map", from_arr, to_arr)
 
     t_elem = ctx.elem_time(ops_of(map_f))
+    if dispatch_blocks(ctx, map_f, (from_arr,), to_arr):
+        ctx.net.compute(_map_cost_vector(ctx, from_arr, to_arr, t_elem))
+        return
     out = apply_fused(ctx, map_f, (from_arr.pool,), from_arr.shape, from_arr.dist)
     if out is not None:
         per_rank = _map_cost_vector(ctx, from_arr, to_arr, t_elem)
@@ -169,6 +206,9 @@ def array_zip(
     ctx.check_same_shape("array_zip", a, to_arr)
 
     t_elem = ctx.elem_time(ops_of(zip_f))
+    if dispatch_blocks(ctx, zip_f, (a, b), to_arr):
+        ctx.net.compute(_map_cost_vector(ctx, a, to_arr, t_elem))
+        return
     out = apply_fused(ctx, zip_f, (a.pool, b.pool), a.shape, a.dist)
     if out is not None:
         per_rank = _map_cost_vector(ctx, a, to_arr, t_elem)

@@ -1,0 +1,120 @@
+"""``Machine.reset()`` must also reset backend worker state.
+
+Regression tests for the flaky seam the real backends exposed: without
+the backend hook, back-to-back trials in one process could consume a
+stale in-flight result (or stale worker kernel caches) from the
+previous trial.  These sit alongside the reset-in-place tests in
+``tests/obs/test_machine_tracing.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.machine import Machine
+from repro.skeletons import PLUS, SkilContext
+from repro.skeletons.functional import skil_fn
+
+BACKENDS = ["sim", "threads", "mp"]
+
+
+def _trial(ctx: SkilContext):
+    init = skil_fn(ops=1, vectorized=lambda g, e: (g[0] * 3 + 1).astype(float))(
+        lambda i: float(i[0] * 3 + 1)
+    )
+    square = skil_fn(ops=2, vectorized=lambda b, g, e: b * b + g[0])(
+        lambda x, i: x * x + i[0]
+    )
+    ident = skil_fn(ops=0, vectorized=lambda b, g, e: b)(lambda x, i: x)
+    a = ctx.array_create(1, (32,), (0,), (-1,), init)
+    b = ctx.array_create(1, (32,), (0,), (-1,), init)
+    ctx.array_map(square, a, b)
+    total = ctx.array_fold(ident, PLUS, b)
+    view = b.global_view()
+    ctx.array_destroy(a)
+    ctx.array_destroy(b)
+    return view, total
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_back_to_back_trials_deterministic(backend):
+    """Same trial twice on one machine with reset() between: identical
+    contents, fold results and simulated clocks."""
+    m = Machine(8, backend=backend, workers=2)
+    try:
+        view1, total1 = _trial(SkilContext(m))
+        clocks1 = m.network.clocks.copy()
+        m.reset()
+        assert m.time == 0.0
+        view2, total2 = _trial(SkilContext(m))
+        assert np.array_equal(view1, view2)
+        assert total1 == total2
+        assert np.array_equal(clocks1, m.network.clocks)
+    finally:
+        m.close()
+
+
+def test_reset_bumps_worker_epoch():
+    """The mp backend's reset must invalidate in-flight results from the
+    previous trial (epoch bump), not just clear main-process state."""
+    m = Machine(4, backend="mp", workers=2)
+    try:
+        init = skil_fn(ops=1, vectorized=lambda g, e: g[0] * 1.0)(
+            lambda i: float(i[0])
+        )
+        ctx = SkilContext(m)
+        # first call probes the kernel's fusability through the fused
+        # path; from the second call on it dispatches and boots the pool
+        ctx.array_create(1, (8,), (0,), (-1,), init)
+        ctx.array_create(1, (8,), (0,), (-1,), init)
+        pool = m.backend._pool
+        assert pool is not None
+        epoch_before = pool.epoch
+        m.reset()
+        assert pool.epoch == epoch_before + 1
+        # stale-looking forged result from the old epoch is discarded
+        from repro.machine.workers import Message
+
+        pool.results.post(
+            Message(0, "main", "result", 0, (epoch_before, "ok", np.array(-1.0)))
+        )
+        a = ctx.array_create(1, (8,), (0,), (-1,), init)
+        assert np.array_equal(a.global_view(), np.arange(8, dtype=float))
+    finally:
+        m.close()
+
+
+def test_reset_clears_mp_ship_cache():
+    """Worker kernel caches are flushed on reset — a kernel object reused
+    across trials is re-shipped, not assumed present."""
+    m = Machine(4, backend="mp", workers=2)
+    try:
+        init = skil_fn(ops=1, vectorized=lambda g, e: g[0] * 2.0)(
+            lambda i: float(i[0] * 2)
+        )
+        ctx = SkilContext(m)
+        ctx.array_create(1, (8,), (0,), (-1,), init)  # fusability probe
+        a = ctx.array_create(1, (8,), (0,), (-1,), init)
+        assert m.backend._ship_cache
+        m.reset()
+        assert not m.backend._ship_cache
+        b = ctx.array_create(1, (8,), (0,), (-1,), init)
+        assert np.array_equal(b.global_view(), a.global_view())
+    finally:
+        m.close()
+
+
+def test_sim_machines_unaffected_by_reset_hook():
+    """The sim backend's reset is a no-op; the existing in-place reset
+    contract (shared stats object) is untouched."""
+    m = Machine(4)
+    stats = m.stats
+    SkilContext(m).array_create(
+        1, (8,), (0,), (-1,),
+        skil_fn(ops=1, vectorized=lambda g, e: g[0] * 1.0)(lambda i: float(i[0])),
+    )
+    m.reset()
+    assert m.stats is stats
+    assert m.time == 0.0
+    m.close()  # harmless on sim

@@ -1,0 +1,363 @@
+"""Mailbox, shared-arena, closure-shipping and worker-pool unit tests.
+
+The mp backend's substrate must uphold four promises: per-stream FIFO
+delivery with selective receive, a crash surfacing as a clean
+``MachineError`` (never a hang), shippable kernels round-tripping
+bit-exactly (unshippable ones raising ``BackendError`` that names the
+free variable), and leak-free ``/dev/shm`` teardown.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendError, MachineError
+from repro.machine.machine import Machine
+from repro.machine.workers import (
+    ANY,
+    Mailbox,
+    Message,
+    SharedArena,
+    WorkerPool,
+    kernel_fingerprint,
+    ship_kernel,
+    shm_prefix,
+    unship_kernel,
+)
+
+
+def _shm_segments() -> set[str]:
+    # a set, compared as deltas against a baseline: under
+    # REPRO_BACKEND=mp other tests' machines legitimately hold live
+    # segments of this process while we run
+    return set(glob.glob(f"/dev/shm/{shm_prefix()}*"))
+
+
+# ---------------------------------------------------------------------------
+# mailboxes
+# ---------------------------------------------------------------------------
+class TestMailbox:
+    def test_fifo_per_stream(self):
+        """Messages of one (src, dst, tag) stream arrive in send order
+        even when other streams interleave."""
+        box = Mailbox(owner=0)
+        for seq in range(5):
+            box.post(Message(1, 0, "a", seq, f"a{seq}"))
+            box.post(Message(2, 0, "a", seq, f"b{seq}"))
+            box.post(Message(1, 0, "z", seq, f"z{seq}"))
+        got = [box.recv(src=1, tag="a").payload for _ in range(5)]
+        assert got == [f"a{i}" for i in range(5)]
+        got = [box.recv(src=2, tag="a").payload for _ in range(5)]
+        assert got == [f"b{i}" for i in range(5)]
+        got = [box.recv(src=1, tag="z").payload for _ in range(5)]
+        assert got == [f"z{i}" for i in range(5)]
+
+    def test_selective_receive_buffers_nonmatching(self):
+        """A message that does not match stays available for later."""
+        box = Mailbox(owner=0)
+        box.post(Message(7, 0, "other", 0, "early"))
+        box.post(Message(3, 0, "want", 1, "target"))
+        assert box.recv(src=3, tag="want").payload == "target"
+        assert box.recv(src=ANY, tag=ANY).payload == "early"
+        assert box.pending() == 0
+
+    def test_wildcard_receive_under_concurrency(self):
+        """Concurrent senders: wildcard receive sees every message, and
+        each sender's own stream stays in order."""
+        box = Mailbox(owner="main")
+        n_per = 50
+
+        def sender(src: int) -> None:
+            for seq in range(n_per):
+                box.post(Message(src, "main", "t", seq, (src, seq)))
+
+        threads = [threading.Thread(target=sender, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        got: dict[int, list[int]] = {s: [] for s in range(4)}
+        for _ in range(4 * n_per):
+            src, seq = box.recv(src=ANY, tag=ANY, timeout=10.0).payload
+            got[src].append(seq)
+        for t in threads:
+            t.join()
+        for s in range(4):
+            assert got[s] == list(range(n_per)), f"stream {s} out of order"
+
+    def test_recv_timeout_raises(self):
+        box = Mailbox(owner=0)
+        with pytest.raises(MachineError, match="timed out"):
+            box.recv(timeout=0.1)
+
+    def test_liveness_callback_aborts_wait(self):
+        box = Mailbox(owner=0)
+
+        def dead():
+            raise MachineError("peer died")
+
+        with pytest.raises(MachineError, match="peer died"):
+            box.recv(timeout=5.0, liveness=dead)
+
+    def test_drain_pending(self):
+        box = Mailbox(owner=0)
+        for i in range(3):
+            box.post(Message(0, 0, "x", i))
+        assert box.drain_pending() == 3
+        assert box.pending() == 0
+
+
+# ---------------------------------------------------------------------------
+# shared arena
+# ---------------------------------------------------------------------------
+class TestSharedArena:
+    def test_allocate_descriptor_release(self):
+        base = _shm_segments()
+        arena = SharedArena()
+        try:
+            arr = arena.allocate((6, 4), np.float64)
+            assert arr.shape == (6, 4) and not arr.any()
+            arr[2, 1] = 7.5
+            desc = arena.descriptor(arr[2:4])  # a strided interior view
+            assert desc is not None
+            name, offset, shape, dtype, strides = desc
+            assert name.startswith(shm_prefix())
+            assert shape == (2, 4) and offset == 2 * 4 * 8
+            assert arena.descriptor(np.zeros(3)) is None  # foreign array
+            assert len(_shm_segments() - base) == 1
+            arena.release(arr)
+            assert _shm_segments() - base == set()
+        finally:
+            arena.close()
+
+    def test_concurrent_arenas_never_collide(self):
+        """Two live machines mean two live arenas; segment numbering is
+        process-global so their /dev/shm names cannot collide."""
+        base = _shm_segments()
+        a, b = SharedArena(), SharedArena()
+        try:
+            xs = [a.allocate((4,), np.float64) for _ in range(3)]
+            ys = [b.allocate((4,), np.float64) for _ in range(3)]
+            assert len(_shm_segments() - base) == 6
+            xs[0][:] = 1.0
+            assert not ys[0].any()
+        finally:
+            a.close()
+            b.close()
+        assert _shm_segments() - base == set()
+
+    def test_close_unlinks_everything(self):
+        base = _shm_segments()
+        arena = SharedArena()
+        for _ in range(3):
+            arena.allocate((16,), np.int64)
+        assert len(_shm_segments() - base) == 3
+        arena.close()
+        assert _shm_segments() - base == set()
+        arena.close()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# closure shipping
+# ---------------------------------------------------------------------------
+def _module_level_helper(x):
+    return x + 1
+
+
+class TestShipKernel:
+    def test_closure_with_defaults_round_trips(self):
+        scale = 3.5
+
+        def kernel(block, grids, env, _s=scale):
+            return block * _s + grids[0]
+
+        k2 = unship_kernel(ship_kernel(kernel))
+        b = np.arange(6, dtype=float)
+        g = (np.arange(6),)
+        assert np.array_equal(kernel(b, g, None), k2(b, g, None))
+
+    def test_global_function_reference(self):
+        def kernel(x):
+            return _module_level_helper(x) * 2
+
+        k2 = unship_kernel(ship_kernel(kernel))
+        assert k2(20) == kernel(20) == 42
+
+    def test_function_attributes_survive(self):
+        """``skil_fn`` carries ``.vectorized``/``.ops`` in ``__dict__``;
+        the mp path must preserve them."""
+
+        def kernel(x, i):
+            return x + 1
+
+        kernel.ops = 2.0
+        kernel.vectorized = lambda b, g, e: b + 1
+        k2 = unship_kernel(ship_kernel(kernel))
+        assert k2.ops == 2.0
+        assert np.array_equal(k2.vectorized(np.arange(3), (), None), np.arange(1, 4))
+
+    def test_make_kernel_lifted_shape_ships(self):
+        """The exact closure shape ``lang.runtime.make_kernel`` emits."""
+        from repro.lang.runtime import make_kernel
+
+        def base(c0, v, ix):
+            return (v * c0 + ix[0]) % 9973
+
+        base.vectorized = lambda c0, b, g, e: (b * c0 + g[0]) % 9973
+        lifted = make_kernel(base, bound=(7,), ops=2.0)
+        k2 = unship_kernel(ship_kernel(lifted))
+        assert k2(5, (3,)) == lifted(5, (3,))
+        b = np.arange(8)
+        assert np.array_equal(
+            k2.vectorized(b, (b,), None), lifted.vectorized(b, (b,), None)
+        )
+
+    def test_unpicklable_free_variable_named(self):
+        lock = threading.Lock()  # classic unpicklable
+
+        def kernel(x, _l=lock):
+            return x
+
+        with pytest.raises(BackendError, match=r"defaults\[0\]"):
+            ship_kernel(kernel)
+
+    def test_unpicklable_closure_cell_named(self):
+        sock = threading.Condition()
+
+        def kernel(x):
+            return x if sock else x
+
+        with pytest.raises(BackendError, match="closure.sock"):
+            ship_kernel(kernel)
+
+    def test_fingerprint_stable(self):
+        def kernel(x, _k=2):
+            return x * _k
+
+        d1, d2 = ship_kernel(kernel), ship_kernel(kernel)
+        assert kernel_fingerprint(d1) == kernel_fingerprint(d2)
+
+
+# ---------------------------------------------------------------------------
+# worker pool
+# ---------------------------------------------------------------------------
+def _double(x):
+    return np.asarray(x) * 2
+
+
+def _crash(x):
+    os._exit(3)
+
+
+class TestWorkerPool:
+    def test_round_robin_results_in_task_order(self):
+        pool = WorkerPool(2)
+        try:
+            data = ship_kernel(_double)
+            kid = kernel_fingerprint(data)
+            pool.ensure_kernel(kid, data)
+            tasks = [[("val", np.full(4, i))] for i in range(7)]
+            out = pool.run_tasks(kid, tasks)
+            for i, res in enumerate(out):
+                assert np.array_equal(res, np.full(4, 2 * i))
+        finally:
+            pool.close()
+
+    def test_worker_crash_raises_machine_error_not_hang(self):
+        pool = WorkerPool(2)
+        try:
+            data = ship_kernel(_crash)
+            kid = kernel_fingerprint(data)
+            pool.ensure_kernel(kid, data)
+            with pytest.raises(MachineError, match="died"):
+                pool.run_tasks(kid, [[("val", 1)], [("val", 2)]])
+        finally:
+            pool.close()
+
+    def test_worker_exception_carries_name_and_traceback(self):
+        pool = WorkerPool(1)
+        try:
+            def bad(x):
+                raise ValueError("boom from worker")
+
+            data = ship_kernel(bad)
+            kid = kernel_fingerprint(data)
+            pool.ensure_kernel(kid, data)
+            with pytest.raises(MachineError, match="ValueError: boom") as ei:
+                pool.run_tasks(kid, [[("val", 1)]])
+            assert ei.value.worker_exc == "ValueError"
+        finally:
+            pool.close()
+
+    def test_reset_discards_stale_results(self):
+        """A result from before reset() (older epoch) must never be
+        mistaken for a new task's answer."""
+        pool = WorkerPool(1)
+        try:
+            # forge a late arrival from the previous epoch for task 0
+            pool.results.post(
+                Message(0, "main", "result", 0, (pool.epoch, "ok", np.array(-1)))
+            )
+            pool.reset(seed=5)
+            data = ship_kernel(_double)
+            kid = kernel_fingerprint(data)
+            pool.ensure_kernel(kid, data)
+            out = pool.run_tasks(kid, [[("val", np.array(21))]])
+            assert out[0] == 42
+        finally:
+            pool.close()
+
+    def test_close_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+        with pytest.raises(MachineError, match="closed"):
+            pool.run_tasks("nope", [[("val", 1)]])
+
+
+# ---------------------------------------------------------------------------
+# machine-level shm lifecycle
+# ---------------------------------------------------------------------------
+class TestMachineTeardown:
+    def test_no_leaked_shm_after_machine_close(self):
+        from repro.skeletons import SkilContext
+        from repro.skeletons.functional import skil_fn
+
+        init = skil_fn(ops=1, vectorized=lambda g, e: g[0] * 1.0)(
+            lambda i: float(i[0])
+        )
+        double = skil_fn(ops=1, vectorized=lambda b, g, e: b * 2.0)(
+            lambda x, i: x * 2.0
+        )
+        base = _shm_segments()
+        m = Machine(4, backend="mp", workers=2)
+        ctx = SkilContext(m)
+        a = ctx.array_create(1, (16,), (0,), (-1,), init)
+        b = ctx.array_create(1, (16,), (0,), (-1,), init)
+        ctx.array_map(double, a, b)
+        assert _shm_segments() - base, "mp pools should live in /dev/shm"
+        assert np.array_equal(b.global_view(), np.arange(16) * 2.0)
+        m.close()
+        assert _shm_segments() - base == set(), (
+            "Machine.close() leaked shm segments"
+        )
+        m.close()  # idempotent
+
+    def test_destroy_releases_segment_before_close(self):
+        from repro.skeletons import SkilContext
+        from repro.skeletons.functional import skil_fn
+
+        init = skil_fn(ops=1, vectorized=lambda g, e: g[0] * 1.0)(
+            lambda i: float(i[0])
+        )
+        base = _shm_segments()
+        with Machine(4, backend="mp", workers=2) as m:
+            ctx = SkilContext(m)
+            a = ctx.array_create(1, (8,), (0,), (-1,), init)
+            n_before = len(_shm_segments())
+            ctx.array_destroy(a)
+            assert len(_shm_segments()) == n_before - 1
+        assert _shm_segments() - base == set()
