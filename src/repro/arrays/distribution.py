@@ -271,14 +271,39 @@ class BlockDistribution(Distribution):
     def part_sizes(self) -> np.ndarray:
         """Element count of every partition as one read-only vector
         (memoized) — used to charge per-rank cost vectors without a
-        per-rank ``bounds`` walk."""
+        per-rank ``bounds`` walk.
+
+        Computed closed-form as the outer product of the per-dimension
+        block lengths (``np.diff`` of the split points): grid ranks are
+        row-major over the grid coordinates, so the C-order flattening
+        of the outer product is exactly rank order, and integer products
+        equal the ``bounds(r).size`` walk entry for entry.
+        """
         if self._part_sizes is None:
-            v = np.array(
-                [self.bounds(r).size for r in range(self.p)], dtype=np.intp
-            )
+            v = np.diff(self._splits[0]).astype(np.intp)
+            for d in range(1, self.dim):
+                v = np.multiply.outer(
+                    v, np.diff(self._splits[d]).astype(np.intp)
+                )
+            v = np.ascontiguousarray(v.reshape(-1))
             v.setflags(write=False)
             self._part_sizes = v
         return self._part_sizes
+
+    def uniform_block_shape(self) -> tuple[int, ...] | None:
+        """The common partition shape, or ``None`` when partitions differ.
+
+        Closed form over the per-dimension split diffs — an O(grid)
+        check that replaces O(p) per-rank shape walks in the skeletons
+        (``array_gen_mult`` requires equally shaped square blocks).
+        """
+        shape = []
+        for d in range(self.dim):
+            lens = np.diff(self._splits[d])
+            if lens.size == 0 or not bool((lens == lens[0]).all()):
+                return None
+            shape.append(int(lens[0]))
+        return tuple(shape)
 
     def _compute_bounds(self, rank: int) -> Bounds:
         coords = self.grid_coords(rank)

@@ -24,6 +24,7 @@ from repro.check.fuzz import run_fuzz, run_fuzz_raw
 from repro.check.netbatch import run_batch, run_batch_raw
 from repro.check.oracle import run_oracle, run_oracle_raw
 from repro.check.report import CheckResult, format_result
+from repro.check.scalecheck import run_scale, run_scale_raw
 from repro.check.streamcheck import run_stream, run_stream_raw
 
 
@@ -36,7 +37,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "pillar",
         choices=["fuzz", "oracle", "diff", "dag", "batch", "stream", "backend",
-                 "all"],
+                 "scale", "all"],
         nargs="?",
         default="all",
         help="which pillar to run (default: all)",
@@ -72,7 +73,8 @@ def main(argv: list[str] | None = None) -> int:
         set_fusion_default(args.fused)
 
     pillars = (
-        ["fuzz", "oracle", "diff", "dag", "batch", "stream", "backend"]
+        ["fuzz", "oracle", "diff", "dag", "batch", "stream", "backend",
+         "scale"]
         if args.pillar == "all"
         else [args.pillar]
     )
@@ -87,6 +89,7 @@ def main(argv: list[str] | None = None) -> int:
                 "batch": run_batch_raw,
                 "stream": run_stream_raw,
                 "backend": run_backend_raw,
+                "scale": run_scale_raw,
             }[pillar]
             res = runner(args.seed, args.budget)
         else:
@@ -98,6 +101,7 @@ def main(argv: list[str] | None = None) -> int:
                 "batch": run_batch,
                 "stream": run_stream,
                 "backend": run_backend,
+                "scale": run_scale,
             }[pillar]
             res = runner(
                 args.seed,

@@ -1,0 +1,324 @@
+"""Closed-form vs round-batched vs scalar charging (the ``scale`` pillar).
+
+PR 8's closed-form collective tier promises that
+:meth:`~repro.machine.network.Network.broadcast` /
+:meth:`~repro.machine.network.Network.reduce` /
+:meth:`~repro.machine.network.Network.allreduce` /
+:meth:`~repro.machine.network.Network.barrier` /
+:meth:`~repro.machine.network.Network.gather` /
+:meth:`~repro.machine.network.Network.scatter` /
+:meth:`~repro.machine.network.Network.allgather` /
+:meth:`~repro.machine.network.Network.alltoall` charge **bitwise
+identically** to (a) the historical round-batched loops (binomial edge
+tuples fed through ``p2p_batch``) and (b) the fully scalar per-message
+loops, and that the closed-form topology hop arithmetic
+(:meth:`~repro.machine.topology.VirtualTopology.hops_vec`) equals the
+dense ``hop_matrix()`` entry for entry.  Every trial drives identical
+machines through two or three of those charging tiers across random
+p (up to 1024), roots, byte sizes, sync flags and topologies, then
+compares clocks, stats, records, timelines and metrics with the same
+bitwise comparator the ``batch`` pillar uses.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import traceback
+
+import numpy as np
+
+from repro.check.netbatch import (
+    _compare_machines,
+    _perturb,
+    _ref_broadcast,
+    _ref_reduce,
+    _ref_shift,
+)
+from repro.check.report import CheckResult, Failure
+from repro.machine.machine import (
+    DISTR_DEFAULT,
+    DISTR_RING,
+    DISTR_TORUS2D,
+    Machine,
+)
+from repro.machine.topology import (
+    DENSE_HOPS_MAX_P,
+    BinomialTree,
+    DefaultMapping,
+    Mesh2D,
+    Ring,
+    Torus2D,
+)
+from repro.obs.metrics import isolated_metrics
+
+__all__ = ["run_scale", "run_scale_raw"]
+
+_WAVE_MIN = 4  # the historical round-batch scalar-fallback threshold
+
+
+# ---------------------------------------------------------------------------
+# reference charging: the historical round-batched collective loops
+# ---------------------------------------------------------------------------
+def _round_batch(net, rnd, nbytes, topo, sync, tag) -> None:
+    if len(rnd) < _WAVE_MIN:
+        for s, d in rnd:
+            net.p2p(s, d, nbytes, topo, sync=sync, tag=tag)
+        return
+    k = len(rnd)
+    srcs = np.fromiter((s for s, _ in rnd), dtype=np.int64, count=k)
+    dsts = np.fromiter((d for _, d in rnd), dtype=np.int64, count=k)
+    net.p2p_batch(srcs, dsts, nbytes, topo, sync=sync, tag=tag)
+
+
+def _ref_round_broadcast(net, root, nbytes, topo, sync, tag) -> None:
+    if net.p == 1:
+        return
+    for rnd in BinomialTree(topo.mesh, root=root).broadcast_rounds():
+        _round_batch(net, rnd, nbytes, topo, sync, tag)
+
+
+def _ref_round_reduce(net, root, nbytes, topo, comb, sync, tag) -> None:
+    if net.p == 1:
+        return
+    for rnd in BinomialTree(topo.mesh, root=root).reduce_rounds():
+        _round_batch(net, rnd, nbytes, topo, sync, tag)
+        if comb:
+            if net.timeline is not None or len(rnd) < _WAVE_MIN:
+                for _, d in rnd:
+                    net.compute_at(d, comb)
+            else:
+                dsts = np.fromiter(
+                    (d for _, d in rnd), dtype=np.int64, count=len(rnd)
+                )
+                net.clocks[dsts] += comb
+                cps = net.stats.compute_seconds
+                for _ in rnd:
+                    cps += comb
+                net.stats.compute_seconds = cps
+
+
+def _ref_gather(net, root, nbytes_per_rank, topo, tag) -> None:
+    for r in range(net.p):
+        if r == root:
+            continue
+        nb = (
+            int(nbytes_per_rank)
+            if np.isscalar(nbytes_per_rank)
+            else int(nbytes_per_rank[r])
+        )
+        net.p2p(r, root, nb, topo, tag=tag)
+
+
+def _ref_scatter(net, root, nbytes_per_rank, topo, tag) -> None:
+    for r in range(net.p):
+        if r == root:
+            continue
+        nb = (
+            int(nbytes_per_rank)
+            if np.isscalar(nbytes_per_rank)
+            else int(nbytes_per_rank[r])
+        )
+        net.p2p(root, r, nb, topo, tag=tag)
+
+
+# ---------------------------------------------------------------------------
+# trial machinery
+# ---------------------------------------------------------------------------
+def _machines(rng: random.Random, n: int, big: bool) -> tuple[list[Machine], str, int]:
+    """*n* identical machines; larger p than the batch pillar explores."""
+    if big:
+        p = rng.choice([100, 256, 512, 1024])
+        trace_level = 0
+    else:
+        p = rng.choice([2, 3, 5, 8, 16, 31, 64])
+        trace_level = rng.choice([0, 0, 2])
+    distr = rng.choice([DISTR_DEFAULT, DISTR_RING, DISTR_TORUS2D])
+    kwargs = dict(
+        trace_level=trace_level,
+        trace_mode="record",
+        keep_message_records=trace_level == 0 and bool(rng.getrandbits(1)),
+        use_virtual_topologies=bool(rng.getrandbits(1)),
+    )
+    return [Machine(p, **kwargs) for _ in range(n)], distr, p
+
+
+def trial_tree_scale(rng: random.Random) -> tuple[str | None, dict[str, int]]:
+    """broadcast/reduce/allreduce/barrier: closed form vs round-batched
+    vs fully scalar, all three bitwise."""
+    big = rng.random() < 0.4
+    (m_scalar, m_round, m_new), distr, p = _machines(rng, 3, big)
+    topos = [m.topology(distr) for m in (m_scalar, m_round, m_new)]
+    _perturb(rng, m_scalar, m_round, m_new)
+    kind = rng.choice(["bcast", "reduce", "allreduce", "barrier"])
+    root = rng.randrange(p)
+    nb = rng.randint(1, 65536)
+    comb = rng.choice([0.0, 1e-6])
+    sync = rng.random() < 0.3
+    if kind == "bcast":
+        _ref_broadcast(m_scalar.network, root, nb, topos[0], sync, "bcast")
+        _ref_round_broadcast(m_round.network, root, nb, topos[1], sync, "bcast")
+        m_new.network.broadcast(root, nb, topos[2], sync=sync, tag="bcast")
+    elif kind == "reduce":
+        _ref_reduce(m_scalar.network, root, nb, topos[0], comb, sync, "reduce")
+        _ref_round_reduce(m_round.network, root, nb, topos[1], comb, sync, "reduce")
+        m_new.network.reduce(
+            root, nb, topos[2], combine_seconds=comb, sync=sync, tag="reduce"
+        )
+    elif kind == "allreduce":
+        _ref_reduce(m_scalar.network, root, nb, topos[0], comb, sync, "fold-up")
+        _ref_broadcast(m_scalar.network, root, nb, topos[0], sync, "fold-down")
+        _ref_round_reduce(m_round.network, root, nb, topos[1], comb, sync, "fold-up")
+        _ref_round_broadcast(m_round.network, root, nb, topos[1], sync, "fold-down")
+        m_new.network.allreduce(
+            nb, topos[2], combine_seconds=comb, root=root, sync=sync
+        )
+    else:
+        if p > 1:
+            _ref_reduce(m_scalar.network, 0, 1, topos[0], 0.0, False, "fold-up")
+            _ref_broadcast(m_scalar.network, 0, 1, topos[0], False, "fold-down")
+            m_scalar.network.clocks[:] = m_scalar.network.clocks.max()
+            _ref_round_reduce(m_round.network, 0, 1, topos[1], 0.0, False, "fold-up")
+            _ref_round_broadcast(m_round.network, 0, 1, topos[1], False, "fold-down")
+            m_round.network.clocks[:] = m_round.network.clocks.max()
+        m_new.network.barrier(topos[2])
+    label = f"{kind} p={p} distr={distr} root={root} sync={sync}"
+    msg = _compare_machines(m_scalar, m_new, f"scalar-vs-closed {label}")
+    if msg is None:
+        msg = _compare_machines(m_round, m_new, f"round-vs-closed {label}")
+    return msg, {f"scale.{kind}": 1, f"scale.{'big' if big else 'small'}": 1}
+
+
+def trial_fan_scale(rng: random.Random) -> tuple[str | None, dict[str, int]]:
+    """gather/scatter: closed form vs the historical scalar p2p loops."""
+    big = rng.random() < 0.4
+    (m_ref, m_new), distr, p = _machines(rng, 2, big)
+    topo_ref = m_ref.topology(distr)
+    topo_new = m_new.topology(distr)
+    _perturb(rng, m_ref, m_new)
+    kind = rng.choice(["gather", "scatter"])
+    root = rng.randrange(p)
+    if rng.random() < 0.5:
+        nbytes = rng.randint(0, 65536)
+    else:
+        nbytes = [rng.randint(0, 8192) for _ in range(p)]
+    if kind == "gather":
+        _ref_gather(m_ref.network, root, nbytes, topo_ref, "gather")
+        m_new.network.gather(root, nbytes, topo_new, tag="gather")
+    else:
+        _ref_scatter(m_ref.network, root, nbytes, topo_ref, "scatter")
+        m_new.network.scatter(root, nbytes, topo_new, tag="scatter")
+    label = f"{kind} p={p} distr={distr} root={root}"
+    return _compare_machines(m_ref, m_new, label), {f"scale.{kind}": 1}
+
+
+def trial_ring_scale(rng: random.Random) -> tuple[str | None, dict[str, int]]:
+    """allgather/alltoall round generation vs the historical pair lists."""
+    (m_ref, m_new), distr, p = _machines(rng, 2, big=False)
+    topo_ref = m_ref.topology(distr)
+    topo_new = m_new.topology(distr)
+    _perturb(rng, m_ref, m_new)
+    kind = rng.choice(["allgather", "alltoall"])
+    nb = rng.randint(1, 8192)
+    sync = rng.random() < 0.3
+    if kind == "allgather":
+        if p > 1:
+            ring = topo_ref if isinstance(topo_ref, Ring) else Ring(topo_ref.mesh)
+            pairs = [(i, ring.succ(i)) for i in range(p)]
+            for _ in range(p - 1):
+                _ref_shift(m_ref.network, pairs, nb, ring, sync, "allgather")
+        m_new.network.allgather(nb, topo_new, sync=sync, tag="allgather")
+    else:
+        if p > 1:
+            for k in range(1, p):
+                if p & (p - 1) == 0:
+                    pairs = [(r, r ^ k) for r in range(p)]
+                else:
+                    pairs = [(r, (r + k) % p) for r in range(p)]
+                _ref_shift(m_ref.network, pairs, nb, topo_ref, sync, "alltoall")
+        m_new.network.alltoall(nb, topo_new, sync=sync, tag="alltoall")
+    label = f"{kind} p={p} distr={distr} sync={sync}"
+    return _compare_machines(m_ref, m_new, label), {f"scale.{kind}": 1}
+
+
+def trial_hops_scale(rng: random.Random) -> tuple[str | None, dict[str, int]]:
+    """hops_vec == hop_matrix entry for entry, for every embedding."""
+    p = rng.choice([1, 2, 5, 8, 16, 31, 64, 100, 256])
+    mesh = Mesh2D.for_processors(p)
+    builders = [
+        lambda: DefaultMapping(mesh),
+        lambda: Ring(mesh),
+        lambda: Torus2D(mesh, folded=True),
+        lambda: Torus2D(mesh, folded=False),
+        lambda: BinomialTree(mesh, root=rng.randrange(p)),
+    ]
+    topo = rng.choice(builders)()
+    assert p <= DENSE_HOPS_MAX_P
+    hm = topo.hop_matrix()
+    s, d = np.meshgrid(np.arange(p), np.arange(p), indexing="ij")
+    if not np.array_equal(topo.hops_vec(s, d), hm):
+        return f"hops_vec != hop_matrix (p={p}, {type(topo).__name__})", {}
+    for _ in range(8):
+        src, dst = rng.randrange(p), rng.randrange(p)
+        if topo.edge_hops(src, dst) != int(hm[src, dst]):
+            return (
+                f"edge_hops({src},{dst}) != matrix (p={p}, "
+                f"{type(topo).__name__})"
+            ), {}
+    return None, {"scale.hops": 1}
+
+
+_TRIALS = [trial_tree_scale, trial_fan_scale, trial_ring_scale,
+           trial_hops_scale]
+
+
+def _run_trial(trial_seed: int, res: CheckResult, verbose: bool = False) -> None:
+    rng = random.Random(trial_seed)
+    fn = _TRIALS[trial_seed % len(_TRIALS)]
+    res.trials += 1
+    try:
+        with isolated_metrics():
+            msg, cov = fn(rng)
+    except Exception:
+        msg, cov = traceback.format_exc(limit=8), {}
+    for k, v in cov.items():
+        res.coverage[k] = res.coverage.get(k, 0) + v
+    if msg is not None:
+        res.failures.append(
+            Failure(
+                pillar="scale",
+                seed=trial_seed,
+                title=fn.__name__,
+                detail=msg,
+                replay=(
+                    f"PYTHONPATH=src python -m repro.check scale "
+                    f"--seed {trial_seed} --budget 1 --raw-seed"
+                ),
+            )
+        )
+        if verbose:
+            print(f"scale seed {trial_seed}: FAIL")
+
+
+def run_scale(
+    seed: int = 0,
+    budget: int = 200,
+    time_budget: float | None = None,
+    verbose: bool = False,
+) -> CheckResult:
+    """Run *budget* closed-form-vs-reference trials (4 families)."""
+    res = CheckResult("scale")
+    t0 = time.monotonic()
+    for i in range(budget):
+        if time_budget is not None and time.monotonic() - t0 > time_budget:
+            break
+        _run_trial(seed * 1_000_003 + i, res, verbose=verbose)
+    return res
+
+
+def run_scale_raw(seed: int, budget: int = 1) -> CheckResult:
+    """Replay exact per-trial seeds printed by a failure report."""
+    res = CheckResult("scale")
+    for k in range(budget):
+        _run_trial(seed + k, res)
+    return res

@@ -12,6 +12,14 @@ class SkilError(Exception):
     """Base class of every exception raised by this package."""
 
 
+class UsageError(SkilError):
+    """Invalid command-line usage (e.g. a nonpositive ``--p``/``--workers``).
+
+    The CLI entry points catch this and print the message without a
+    traceback, exiting with argparse's conventional status 2.
+    """
+
+
 class MachineError(SkilError):
     """Errors in the simulated machine (bad rank, bad topology, ...)."""
 

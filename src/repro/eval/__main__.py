@@ -34,10 +34,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import UsageError
 from repro.eval.cliopts import (
     apply_backend,
     obs_parent,
     representative_obs_run,
+    require_positive,
+    run_target_parent,
     write_obs_artifacts,
 )
 
@@ -46,6 +49,7 @@ _ARTEFACTS = ("table1", "table2", "figure1", "ablations", "all")
 
 def _build_parser() -> argparse.ArgumentParser:
     parent = obs_parent()
+    target = run_target_parent()
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the evaluation of the Skil paper (HPDC '96).",
@@ -87,7 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     tr = sub.add_parser(
         "trace",
-        parents=[parent],
+        parents=[parent, target],
         help="profile one run (spans, timeline, metrics)",
     )
     tr.add_argument(
@@ -125,7 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     an = sub.add_parser(
         "analyze",
-        parents=[parent],
+        parents=[parent, target],
         help="critical-path/straggler analysis of one run",
     )
     an.add_argument(
@@ -146,22 +150,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rows in the blocking-edge/imbalance tables",
     )
 
-    for sp in (tr, an):
-        sp.add_argument(
-            "--app",
-            choices=["shpaths", "gauss", "gauss-full"],
-            default="gauss-full",
-            help="which application to run",
-        )
-        sp.add_argument("--p", type=int, default=9, help="processor count")
-        sp.add_argument("--n", type=int, default=48, help="problem size")
-        sp.add_argument("--seed", type=int, default=0, help="input seed")
-
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    try:
+        return _main(argv)
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main(argv: list[str]) -> int:
     if argv[:1] == ["bench"]:
         # the wall-clock harness owns its full option set (see bench.py)
         # but shares the observability parent, so the common flags work
@@ -171,7 +172,10 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = _build_parser()
     args = parser.parse_args(argv)
-    apply_backend(args.backend)
+    if args.what in ("trace", "analyze"):
+        require_positive("--p", args.p)
+        require_positive("--n", args.n)
+    apply_backend(args.backend, args.workers)
 
     if args.what == "trace":
         from repro.eval.tracecmd import run_trace_command

@@ -82,6 +82,13 @@ GATED_MICROS = {
 #: noise while still catching an accidental per-message Python loop.
 OBS_OVERHEAD_LIMIT = 8.0
 
+#: processor counts for the extreme-scale collective micros — the
+#: closed-form charging tier must stay cheap all the way to 2^16 ranks
+SCALE_PS = (1024, 4096, 16384, 65536)
+
+#: collectives timed in the scale section (one call each, wall-clock)
+SCALE_COLLECTIVES = ("broadcast", "allreduce", "gather")
+
 #: micros timed under a real backend (--backend): the two block-dispatch
 #: paths plus the communication-bound genmult (which must *not* slow
 #: down — its rotations stay in the main process)
@@ -424,6 +431,52 @@ def run_obs_overhead(quick: bool, repeat: int, seed: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# extreme scale — closed-form collectives at p up to 65536
+# ---------------------------------------------------------------------------
+def run_scale_bench(quick: bool, seed: int = 0) -> list[dict]:
+    """Time one closed-form collective call per (name, p) at extreme p.
+
+    The point of the closed-form tier is that a collective at
+    p = 65536 charges ``O(log p)`` vectorized waves instead of ``O(p)``
+    Python iterations, and allocates ``O(p)`` scaffolding instead of a
+    dense ``(p, p)`` hop matrix.  Simulated seconds and message counts
+    are deterministic; ``wall_s`` documents that a full collective at
+    2^16 ranks costs milliseconds.
+    """
+    from repro.machine.machine import Machine
+
+    entries: list[dict] = []
+    ps = SCALE_PS[:2] if quick else SCALE_PS
+    nbytes = 4096
+    for p in ps:
+        for name in SCALE_COLLECTIVES:
+            machine = Machine(p, trace_level=0)
+            net = machine.network
+            topo = machine.topology()
+            t0 = time.perf_counter()
+            if name == "broadcast":
+                net.broadcast(0, nbytes, topo)
+            elif name == "allreduce":
+                net.allreduce(nbytes, topo, combine_seconds=1e-6)
+            else:
+                net.gather(0, nbytes, topo)
+            wall = time.perf_counter() - t0
+            entries.append({
+                "name": name,
+                "p": p,
+                "nbytes": nbytes,
+                "wall_s": round(wall, 6),
+                "sim_seconds": machine.time,
+                "messages": int(net.stats.messages),
+            })
+            print(
+                f"scale {name:9s} p={p:<6d} wall {wall:.4f}s  "
+                f"sim {machine.time:.6f}s  msgs {net.stats.messages}"
+            )
+    return entries
+
+
+# ---------------------------------------------------------------------------
 # real execution backends — wall-clock vs cores
 # ---------------------------------------------------------------------------
 def _host_cores() -> int:
@@ -582,6 +635,8 @@ def run_bench(
                 f"sim-identical={entry['sim_identical']}"
             )
 
+    report["scale"] = run_scale_bench(quick, seed)
+
     obs = run_obs_overhead(quick, repeat, seed)
     report["obs_overhead"] = obs
     print(
@@ -640,6 +695,17 @@ def validate_schema(doc: dict) -> list[str]:
                     problems.append(f"{section}[{i}] missing {key!r}")
     if not doc.get("microbench"):
         problems.append("no microbenchmark entries")
+    # the scale section arrived with the closed-form collective tier;
+    # tolerate committed baselines written before it existed
+    scale = doc.get("scale")
+    if scale is not None:
+        if not isinstance(scale, list):
+            problems.append("scale is not a list")
+        else:
+            for i, e in enumerate(scale):
+                for key in ("name", "p", "wall_s", "sim_seconds", "messages"):
+                    if key not in e:
+                        problems.append(f"scale[{i}] missing {key!r}")
     # the obs_overhead section arrived with the streaming layer; tolerate
     # committed baselines written before it existed
     obs = doc.get("obs_overhead")
@@ -696,7 +762,12 @@ def check_regressions(current: dict, committed: dict) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.eval.cliopts import obs_parent, representative_obs_run
+    from repro.errors import UsageError
+    from repro.eval.cliopts import (
+        apply_backend,
+        obs_parent,
+        representative_obs_run,
+    )
 
     ap = argparse.ArgumentParser(
         prog="python -m repro.eval bench",
@@ -721,6 +792,12 @@ def main(argv: list[str] | None = None) -> int:
                     help="fail if fused map/fold speedups regressed >25%% "
                     "against this committed BENCH_perf.json")
     args = ap.parse_args(argv)
+    try:
+        # bench drives backends itself, so only --workers applies here
+        apply_backend(None, args.workers)
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     report = run_bench(
         quick=args.quick,

@@ -31,16 +31,30 @@ definitions cannot drift again:
     either way, so every artefact is bit-identical across backends —
     the flag changes wall-clock behaviour only.  For ``bench`` it
     additionally records a wall-clock-vs-cores ``backend`` section.
+
+``--workers N``
+    Worker count for the real backends (the ``REPRO_WORKERS`` default
+    for this process).  Rejected with a clear usage error when
+    nonpositive, as is ``--p`` on the run-target subcommands.
+
+The run-target flags (``--app`` / ``--p`` / ``--n`` / ``--seed``) that
+``trace`` and ``analyze`` share live in :func:`run_target_parent` for
+the same no-drift reason.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+
+from repro.errors import UsageError
 
 __all__ = [
     "apply_backend",
     "obs_parent",
     "representative_obs_run",
+    "require_positive",
+    "run_target_parent",
     "write_obs_artifacts",
 ]
 
@@ -75,11 +89,53 @@ def obs_parent() -> argparse.ArgumentParser:
         "REPRO_BACKEND env var, else sim); simulated seconds are "
         "identical either way",
     )
+    g.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the real backends (default: the "
+        "REPRO_WORKERS env var, else min(p, cores))",
+    )
     return parent
 
 
-def apply_backend(name: str | None) -> None:
-    """Make ``--backend`` the process-wide default (no-op when unset)."""
+def run_target_parent() -> argparse.ArgumentParser:
+    """The shared run-target parent: which app to run, and how big.
+
+    ``trace`` and ``analyze`` used to re-declare these four flags each;
+    one parent keeps defaults and help text from drifting apart.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group("run target (shared by trace/analyze)")
+    g.add_argument(
+        "--app",
+        choices=["shpaths", "gauss", "gauss-full"],
+        default="gauss-full",
+        help="which application to run",
+    )
+    g.add_argument("--p", type=int, default=9, help="processor count")
+    g.add_argument("--n", type=int, default=48, help="problem size")
+    g.add_argument("--seed", type=int, default=0, help="input seed")
+    return parent
+
+
+def require_positive(flag: str, value: int | None) -> None:
+    """Reject nonpositive count-like flag values with a clear message."""
+    if value is not None and value <= 0:
+        raise UsageError(f"{flag} must be a positive integer, got {value}")
+
+
+def apply_backend(name: str | None, workers: int | None = None) -> None:
+    """Make ``--backend``/``--workers`` the process-wide defaults.
+
+    No-op for unset values.  Nonpositive *workers* is a usage error
+    here (before any pool spins up) rather than a ``MachineError`` deep
+    inside backend construction.
+    """
+    require_positive("--workers", workers)
+    if workers is not None:
+        os.environ["REPRO_WORKERS"] = str(workers)
     if name is not None:
         from repro.machine.backend import set_backend_default
 

@@ -26,12 +26,23 @@ from repro.machine.topology import (
 )
 from repro.machine.trace import TraceStats
 
-__all__ = ["Machine", "DISTR_DEFAULT", "DISTR_RING", "DISTR_TORUS2D"]
+__all__ = [
+    "Machine",
+    "DISTR_DEFAULT",
+    "DISTR_RING",
+    "DISTR_TORUS2D",
+    "STREAM_AUTO_P",
+]
 
 #: distribution constants mirroring the paper's Parix-based implementation
 DISTR_DEFAULT = "DISTR_DEFAULT"
 DISTR_RING = "DISTR_RING"
 DISTR_TORUS2D = "DISTR_TORUS2D"
+
+#: machines at least this large default to ``trace_mode="stream"`` when
+#: fully traced — record mode's O(messages) lists are the one remaining
+#: superlinear consumer, and at 10^4-10^5 ranks they dominate memory
+STREAM_AUTO_P = 4096
 
 
 @dataclass
@@ -85,8 +96,8 @@ class Machine:
     trace_mode:
         How observability data is retained (DESIGN: docs/OBSERVABILITY.md):
 
-        * ``"record"`` (default) — materialize everything: message
-          records, timeline intervals and spans accumulate in lists,
+        * ``"record"`` — materialize everything: message records,
+          timeline intervals and spans accumulate in lists,
           O(messages) memory, full post-hoc analysis (DAG, what-if).
         * ``"stream"`` — route the same event stream through
           :mod:`repro.obs.stream` sinks: exact O(p) aggregates, a
@@ -94,6 +105,10 @@ class Machine:
           optional JSONL spill.  Memory stays O(p + samples) at any
           run length; aggregate values are bit-identical to folding a
           full recording (the ``stream`` check pillar).
+        * ``None`` (the default) — pick automatically: ``"stream"``
+          for a fully traced (``trace_level >= 2``) machine with
+          ``p >= STREAM_AUTO_P`` (where record mode's O(messages)
+          retention would dominate memory), ``"record"`` otherwise.
     stream:
         Optional :class:`~repro.obs.stream.StreamConfig` for
         ``trace_mode="stream"`` (sample sizes, spill path, seed).
@@ -120,7 +135,7 @@ class Machine:
         use_virtual_topologies: bool = True,
         link_contention: bool = False,
         trace_level: int = 0,
-        trace_mode: str = "record",
+        trace_mode: str | None = None,
         stream=None,
         backend=None,
         workers: int | None = None,
@@ -129,6 +144,12 @@ class Machine:
             raise MachineError(f"need a positive processor count, got {p}")
         if trace_level not in (0, 1, 2):
             raise MachineError(f"trace_level must be 0, 1 or 2, got {trace_level}")
+        if trace_mode is None:
+            trace_mode = (
+                "stream"
+                if trace_level >= 2 and p >= STREAM_AUTO_P
+                else "record"
+            )
         if trace_mode not in ("record", "stream"):
             raise MachineError(
                 f"trace_mode must be 'record' or 'stream', got {trace_mode!r}"
@@ -335,4 +356,4 @@ class _NaiveRing(Ring):
 
     def __init__(self, mesh: Mesh2D):
         VirtualTopology.__init__(self, mesh)
-        self._place = list(range(mesh.p))
+        self._place = np.arange(mesh.p, dtype=np.int64)

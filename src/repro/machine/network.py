@@ -29,7 +29,12 @@ import numpy as np
 
 from repro.errors import MachineError
 from repro.machine.costmodel import CostModel
-from repro.machine.topology import BinomialTree, VirtualTopology
+from repro.machine.topology import (
+    BinomialTree,
+    Ring,
+    VirtualTopology,
+    binomial_round_arrays,
+)
 from repro.machine.trace import TraceStats
 
 __all__ = ["Network"]
@@ -326,8 +331,11 @@ class Network:
         self._p2p_wave(srcs[i0:i1], dsts[i0:i1], nbs[i0:i1], topo, sync, tag)
 
     def _p2p_run(self, srcs, dsts, nbs, i0, i1, topo, tag) -> None:
-        """Async messages ``i0:i1`` from one source to distinct remote
-        destinations, vectorized.
+        self._p2p_fanout(int(srcs[i0]), dsts[i0:i1], nbs[i0:i1], topo, tag)
+
+    def _p2p_fanout(self, s, rd, rnb, topo, tag) -> None:
+        """Async messages from one source to distinct remote
+        destinations, vectorized (same-source runs and :meth:`scatter`).
 
         The scalar loop advances the source clock by ``t_setup`` per
         message, so the departures are the sequential prefix sums
@@ -338,11 +346,8 @@ class Network:
         """
         cost = self.cost
         clocks = self.clocks
-        s = int(srcs[i0])
-        rd = dsts[i0:i1]
-        rnb = nbs[i0:i1]
-        n = i1 - i0
-        rhops = topo.hop_matrix()[s, rd]
+        n = int(rd.size)
+        rhops = topo.hops_vec(s, rd)
         wire = cost.message_time_vec(rnb, rhops)
         old_src = float(clocks[s])
         steps = np.full(n, cost.t_setup, dtype=np.float64)
@@ -354,7 +359,13 @@ class Network:
         clocks[rd] = np.maximum(old_dst, arrival)
         clocks[s] = departs[-1]
         self.stats.record_messages(
-            arrival, srcs[i0:i1], rd, rnb, rhops, tag, departs=departs
+            arrival,
+            np.full(n, s, dtype=np.int64),
+            rd,
+            rnb,
+            rhops,
+            tag,
+            departs=departs,
         )
         self._fold_stat_seconds(wire + cost.t_setup, idle_c)
         if self.metrics is not None:
@@ -399,7 +410,7 @@ class Network:
         cost = self.cost
         clocks = self.clocks
         k = int(srcs.size)
-        hops = topo.hop_matrix()[srcs, dsts]
+        hops = topo.hops_vec(srcs, dsts)
         local = srcs == dsts
         remote = ~local
         comm_c = np.empty(k, dtype=np.float64)
@@ -530,7 +541,8 @@ class Network:
 
         The asynchronous case is inherently parallel — every transfer
         departs from the pre-shift clocks — so all clock updates, hop
-        lookups (memoized hop matrix), wire times and contention factors
+        lookups (closed-form coordinate arithmetic), wire times and
+        contention factors
         are computed in one vectorized pass; the rendezvous case is
         order-dependent (a node that both sends and receives serializes)
         and replays the scalar pair loop.  Either way the result is
@@ -544,7 +556,7 @@ class Network:
         nbs = np.asarray(nbytes, dtype=np.int64)
         if nbs.ndim == 0:
             nbs = np.full(k, int(nbs), dtype=np.int64)
-        if len(set(srcs.tolist())) != k or len(set(dsts.tolist())) != k:
+        if int(np.unique(srcs).size) != k or int(np.unique(dsts).size) != k:
             raise MachineError("shift pairs must be disjoint per side")
         old = self.clocks.copy()
         cost = self.cost
@@ -575,7 +587,7 @@ class Network:
                     self.timeline.add(d, "recv", float(old[d]), finish, tag)
             return
         new = self.clocks.copy()
-        hops = topo.hop_matrix()[srcs, dsts]
+        hops = topo.hops_vec(srcs, dsts)
         departs = old[srcs] + cost.t_setup
         new[srcs] = np.maximum(new[srcs], departs)
         wire = cost.message_time_vec(nbs, hops)
@@ -649,6 +661,26 @@ class Network:
         return factors
 
     # ------------------------------------------------------------------ trees
+    def _charge_round(self, srcs, dsts, nbytes: int, topo, sync, tag) -> None:
+        """Charge one disjoint binomial round given as edge arrays.
+
+        The edges of a binomial round touch every rank at most once, so
+        the whole round is exactly one conflict-free wave: short rounds
+        go through the scalar :meth:`p2p` loop, longer ones straight
+        into :meth:`_p2p_wave` — the same split (and therefore the same
+        bit-exact arithmetic) the historical ``p2p_batch`` wave scan
+        produced, without its per-edge Python pass.
+        """
+        k = int(srcs.size)
+        if k < _WAVE_MIN:
+            for i in range(k):
+                self.p2p(
+                    int(srcs[i]), int(dsts[i]), nbytes, topo, sync=sync, tag=tag
+                )
+            return
+        nbs = np.full(k, int(nbytes), dtype=np.int64)
+        self._p2p_wave(srcs, dsts, nbs, topo, sync, tag)
+
     def broadcast(
         self,
         root: int,
@@ -659,27 +691,17 @@ class Network:
     ) -> None:
         """Binomial-tree broadcast of *nbytes* from *root* to everyone.
 
-        Each binomial round touches every rank at most once, so the
-        whole round is one conflict-free :meth:`p2p_batch` wave —
-        ``log2(p)`` batched charges instead of ``p - 1`` scalar ones.
+        Closed form: the per-round edge arrays come straight from
+        :func:`repro.machine.topology.binomial_round_arrays` (O(edges)
+        numpy index arithmetic, no per-rank Python), and each round is
+        charged as one conflict-free wave — ``log2(p)`` vectorized
+        charges total.
         """
         self._check_rank(root)
         if self.p == 1:
             return
-        tree = BinomialTree(topo.mesh, root=root)
-        for rnd in tree.broadcast_rounds():
-            self._round_batch(rnd, nbytes, topo, sync, tag)
-
-    def _round_batch(self, rnd, nbytes, topo, sync, tag) -> None:
-        """Charge one disjoint round of (src, dst) edges."""
-        if len(rnd) < _WAVE_MIN:
-            for s, d in rnd:
-                self.p2p(s, d, nbytes, topo, sync=sync, tag=tag)
-            return
-        k = len(rnd)
-        srcs = np.fromiter((s for s, _ in rnd), dtype=np.int64, count=k)
-        dsts = np.fromiter((d for _, d in rnd), dtype=np.int64, count=k)
-        self.p2p_batch(srcs, dsts, nbytes, topo, sync=sync, tag=tag)
+        for srcs, dsts in binomial_round_arrays(self.p, root):
+            self._charge_round(srcs, dsts, nbytes, topo, sync, tag)
 
     def reduce(
         self,
@@ -694,38 +716,53 @@ class Network:
 
         *combine_seconds* is charged at every merge point (the cost of
         applying the folding function to one pair of partial results).
+        The schedule is the reversed broadcast with every edge flipped,
+        taken closed-form from the same per-round arrays as
+        :meth:`broadcast`.
         """
         self._check_rank(root)
         if self.p == 1:
             return
-        tree = BinomialTree(topo.mesh, root=root)
-        for rnd in tree.reduce_rounds():
-            if self.balance_compute:
-                # the what-if replay spreads every combine over all
-                # clocks, so the per-edge interleaving matters — replay
-                # the scalar order exactly
+        if self.balance_compute:
+            # the what-if replay spreads every combine over all
+            # clocks, so the per-edge interleaving matters — replay
+            # the scalar order exactly
+            tree = BinomialTree(topo.mesh, root=root)
+            for rnd in tree.reduce_rounds():
                 for s, d in rnd:
                     self.p2p(s, d, nbytes, topo, sync=sync, tag=tag)
                     if combine_seconds:
                         self.compute_at(d, combine_seconds)
-                continue
-            self._round_batch(rnd, nbytes, topo, sync, tag)
+            return
+        for b_srcs, b_dsts in reversed(binomial_round_arrays(self.p, root)):
+            # reduction messages flow dst -> src of the broadcast edge;
+            # the merge happens at the broadcast-edge source
+            self._charge_round(b_dsts, b_srcs, nbytes, topo, sync, tag)
             if combine_seconds:
-                # ranks in a round are disjoint, so merging after the
-                # round's messages touches the same clocks in the same
-                # per-rank order as the interleaved scalar loop
-                if self.timeline is not None or len(rnd) < _WAVE_MIN:
-                    for _, d in rnd:
-                        self.compute_at(d, combine_seconds)
-                else:
-                    dsts = np.fromiter(
-                        (d for _, d in rnd), dtype=np.int64, count=len(rnd)
-                    )
-                    self.clocks[dsts] += combine_seconds
-                    cps = self.stats.compute_seconds
-                    for _ in rnd:
-                        cps += combine_seconds
-                    self.stats.compute_seconds = cps
+                self._charge_combines(b_srcs, combine_seconds)
+
+    def _charge_combines(self, ranks, combine_seconds: float) -> None:
+        """Charge one reduction round's merge work at *ranks*.
+
+        Ranks in a round are disjoint, so merging after the round's
+        messages touches the same clocks in the same per-rank order as
+        the interleaved scalar loop; the stats float is folded with a
+        seeded ``np.add.accumulate`` (a sequential left fold), matching
+        the scalar ``+=`` loop bit for bit.
+        """
+        tl = self.timeline
+        k = int(ranks.size)
+        if k < _WAVE_MIN or (tl is not None and not getattr(tl, "wave_api", False)):
+            for d in ranks.tolist():
+                self.compute_at(int(d), combine_seconds)
+            return
+        old = self.clocks[ranks]
+        if tl is not None:
+            tl.add_many(ranks, "compute", old, old + combine_seconds)
+        self.clocks[ranks] += combine_seconds
+        buf = np.full(k + 1, combine_seconds, dtype=np.float64)
+        buf[0] = self.stats.compute_seconds
+        self.stats.compute_seconds = float(np.add.accumulate(buf)[-1])
 
     def allreduce(
         self,
@@ -749,6 +786,20 @@ class Network:
         self.clocks[:] = self.clocks.max()
 
     # ------------------------------------------------------------------ gather
+    def _fan_ranks(self, root: int) -> np.ndarray:
+        """Every rank except *root*, ascending — the fan-in/out order."""
+        return np.concatenate(
+            (
+                np.arange(root, dtype=np.int64),
+                np.arange(root + 1, self.p, dtype=np.int64),
+            )
+        )
+
+    def _fan_bytes(self, nbytes_per_rank, ranks: np.ndarray) -> np.ndarray:
+        if np.isscalar(nbytes_per_rank):
+            return np.full(ranks.size, int(nbytes_per_rank), dtype=np.int64)
+        return np.asarray(nbytes_per_rank, dtype=np.int64)[ranks]
+
     def gather(
         self,
         root: int,
@@ -756,16 +807,75 @@ class Network:
         topo: VirtualTopology,
         tag: str = "gather",
     ) -> None:
-        """Everyone sends its block to *root* (used for result output)."""
-        for r in range(self.p):
-            if r == root:
-                continue
-            nb = (
-                int(nbytes_per_rank)
-                if np.isscalar(nbytes_per_rank)
-                else int(nbytes_per_rank[r])
-            )
-            self.p2p(r, root, nb, topo, tag=tag)
+        """Everyone sends its block to *root* (used for result output).
+
+        Closed form: the senders are independent (each appears once, the
+        root only receives), so departures and arrivals come from the
+        rank-start clocks in one vectorized pass; the root's clock is the
+        running maximum of the arrivals (``np.maximum.accumulate`` —
+        exact, so bit-identical to the scalar fold), and per-message idle
+        terms use the pre-message running value.
+        """
+        self._check_rank(root)
+        if self.p == 1:
+            return
+        srcs = self._fan_ranks(root)
+        k = int(srcs.size)
+        nbs = self._fan_bytes(nbytes_per_rank, srcs)
+        if k < _WAVE_MIN:
+            for i in range(k):
+                self.p2p(int(srcs[i]), root, int(nbs[i]), topo, tag=tag)
+            return
+        cost = self.cost
+        clocks = self.clocks
+        hops = topo.hops_vec(srcs, root)
+        wire = cost.message_time_vec(nbs, hops)
+        old_src = clocks[srcs]
+        departs = old_src + cost.t_setup
+        arrival = departs + wire
+        old_root = float(clocks[root])
+        run_max = np.maximum.accumulate(arrival)
+        prev = np.empty(k, dtype=np.float64)
+        prev[0] = old_root
+        np.maximum(old_root, run_max[:-1], out=prev[1:])
+        idle_c = np.maximum(0.0, arrival - prev)
+        clocks[srcs] = departs
+        clocks[root] = max(old_root, float(run_max[-1]))
+        self.stats.record_messages(
+            arrival,
+            srcs,
+            np.full(k, root, dtype=np.int64),
+            nbs,
+            hops,
+            tag,
+            departs=departs,
+        )
+        self._fold_stat_seconds(wire + cost.t_setup, idle_c)
+        if self.metrics is not None:
+            self._observe_wave(nbs, hops, tag)
+        if self.timeline is not None:
+            tl = self.timeline
+            idle_end = arrival - wire
+            if getattr(tl, "wave_api", False):
+                roots = np.full(k, root, dtype=np.int64)
+                tl.add_many(srcs, "send", old_src, departs, tag)
+                tl.add_many(roots, "idle", prev, idle_end, tag)
+                tl.add_many(
+                    roots, "recv", np.maximum(prev, idle_end), arrival, tag
+                )
+            else:
+                for s, t0, dep, arr, ie, pv in zip(
+                    srcs.tolist(),
+                    old_src.tolist(),
+                    departs.tolist(),
+                    arrival.tolist(),
+                    idle_end.tolist(),
+                    prev.tolist(),
+                ):
+                    tl.add(s, "send", t0, dep, tag)
+                    if ie > pv:
+                        tl.add(root, "idle", pv, ie, tag)
+                    tl.add(root, "recv", max(pv, ie), arr, tag)
 
     def scatter(
         self,
@@ -774,16 +884,23 @@ class Network:
         topo: VirtualTopology,
         tag: str = "scatter",
     ) -> None:
-        """*root* sends each processor its block (initial distribution)."""
-        for r in range(self.p):
-            if r == root:
-                continue
-            nb = (
-                int(nbytes_per_rank)
-                if np.isscalar(nbytes_per_rank)
-                else int(nbytes_per_rank[r])
-            )
-            self.p2p(root, r, nb, topo, tag=tag)
+        """*root* sends each processor its block (initial distribution).
+
+        Closed form: one source fanning out to distinct destinations is
+        exactly the prefix-sum departure pattern of
+        :meth:`_p2p_fanout`, charged in one vectorized pass.
+        """
+        self._check_rank(root)
+        if self.p == 1:
+            return
+        dsts = self._fan_ranks(root)
+        k = int(dsts.size)
+        nbs = self._fan_bytes(nbytes_per_rank, dsts)
+        if k < _WAVE_MIN:
+            for i in range(k):
+                self.p2p(root, int(dsts[i]), int(nbs[i]), topo, tag=tag)
+            return
+        self._p2p_fanout(root, dsts, nbs, topo, tag)
 
     def allgather(
         self,
@@ -797,12 +914,11 @@ class Network:
         on ring virtual topologies."""
         if self.p == 1:
             return
-        from repro.machine.topology import Ring
-
         ring = topo if isinstance(topo, Ring) else Ring(topo.mesh)
-        pairs = [(i, ring.succ(i)) for i in range(self.p)]
+        srcs = np.arange(self.p, dtype=np.int64)
+        dsts = (srcs + 1) % self.p
         for _ in range(self.p - 1):
-            self.shift(pairs, nbytes, ring, sync=sync, tag=tag)
+            self.shift_batch(srcs, dsts, nbytes, ring, sync=sync, tag=tag)
 
     def alltoall(
         self,
@@ -816,9 +932,8 @@ class Network:
         r -> (r + k) mod p otherwise)."""
         if self.p == 1:
             return
+        ranks = np.arange(self.p, dtype=np.int64)
+        pow2 = self.p & (self.p - 1) == 0
         for k in range(1, self.p):
-            if self.p & (self.p - 1) == 0:
-                pairs = [(r, r ^ k) for r in range(self.p)]
-            else:
-                pairs = [(r, (r + k) % self.p) for r in range(self.p)]
-            self.shift(pairs, nbytes, topo, sync=sync, tag=tag)
+            dsts = (ranks ^ k) if pow2 else (ranks + k) % self.p
+            self.shift_batch(ranks, dsts, nbytes, topo, sync=sync, tag=tag)

@@ -51,7 +51,15 @@ __all__ = [
     "Torus2D",
     "BinomialTree",
     "square_grid",
+    "binomial_round_arrays",
+    "DENSE_HOPS_MAX_P",
 ]
+
+#: largest topology for which the dense ``(p, p)`` hop matrix may be
+#: materialized; above it every consumer must go through the closed-form
+#: :meth:`VirtualTopology.hops_vec` (a ``(p, p)`` int64 matrix at
+#: p = 65536 would be 32 GiB)
+DENSE_HOPS_MAX_P = 2048
 
 
 def square_grid(p: int) -> tuple[int, int]:
@@ -159,10 +167,13 @@ class VirtualTopology:
     def __init__(self, mesh: Mesh2D):
         self.mesh = mesh
         # hop counts are pure in (src, dst) for a given embedding, and
-        # topology objects are cached on the Machine — the full (p, p)
-        # hop-distance matrix is memoized so both the scalar per-message
-        # hot path and the batched charging API read plain array entries
+        # topology objects are cached on the Machine — below
+        # DENSE_HOPS_MAX_P the full (p, p) hop-distance matrix may still
+        # be memoized for dense consumers; the charging hot paths use the
+        # O(p) placed-coordinate arrays instead
         self._hop_matrix: np.ndarray | None = None
+        self._place_vec: np.ndarray | None = None
+        self._placed_coords: tuple[np.ndarray, np.ndarray] | None = None
         # directed hardware link ids of every route, keyed (src, dst);
         # built lazily for the link-contention model
         self._route_ids_cache: dict[tuple[int, int], np.ndarray] = {}
@@ -178,24 +189,67 @@ class VirtualTopology:
         """
         return logical
 
-    def place_vector(self) -> np.ndarray:
-        """Hardware rank of every logical rank as an int64 array."""
+    def _compute_place_vector(self) -> np.ndarray:
+        """Embedding as an array; subclasses override with closed forms."""
+        if type(self).place is VirtualTopology.place:
+            # identity embedding — no per-rank Python calls
+            return np.arange(self.p, dtype=np.int64)
         return np.fromiter(
             (self.place(r) for r in range(self.p)), dtype=np.int64, count=self.p
         )
+
+    def place_vector(self) -> np.ndarray:
+        """Hardware rank of every logical rank as a read-only int64 array."""
+        if self._place_vec is None:
+            placed = np.ascontiguousarray(
+                self._compute_place_vector(), dtype=np.int64
+            )
+            placed.setflags(write=False)
+            self._place_vec = placed
+        return self._place_vec
+
+    def placed_coords(self) -> tuple[np.ndarray, np.ndarray]:
+        """Mesh ``(rows, cols)`` of every placed logical rank — O(p).
+
+        These two arrays are the whole hop "matrix" in factored form:
+        the dimension-ordered route length of any edge is the Manhattan
+        distance of its endpoints' coordinates.
+        """
+        if self._placed_coords is None:
+            rows, cols = np.divmod(self.place_vector(), self.mesh.cols)
+            rows.setflags(write=False)
+            cols.setflags(write=False)
+            self._placed_coords = (rows, cols)
+        return self._placed_coords
+
+    def hops_vec(self, srcs, dsts) -> np.ndarray:
+        """Closed-form hardware hops for logical edges ``srcs[i]→dsts[i]``.
+
+        Accepts arrays or scalars (numpy broadcasting applies) and
+        computes the Manhattan distances from the O(p) placed-coordinate
+        arrays — entry for entry the same integers as
+        ``hop_matrix()[srcs, dsts]``, without ever materializing the
+        dense ``(p, p)`` matrix.
+        """
+        rows, cols = self.placed_coords()
+        return np.abs(rows[srcs] - rows[dsts]) + np.abs(cols[srcs] - cols[dsts])
 
     def hop_matrix(self) -> np.ndarray:
         """Memoized ``(p, p)`` matrix of hardware hops per logical edge.
 
         ``hop_matrix()[s, d] == mesh.hops(place(s), place(d))`` — the
         Manhattan distance of the dimension-ordered route between the
-        placed nodes.  Computed vectorized once per topology object and
-        returned read-only; the scalar :meth:`edge_hops` and the batched
-        ``Network`` charging API both index into it.
+        placed nodes.  Only available up to ``DENSE_HOPS_MAX_P`` ranks;
+        larger topologies must use the closed-form :meth:`hops_vec`
+        (which is bit-identical entry for entry).
         """
+        if self.p > DENSE_HOPS_MAX_P:
+            raise TopologyError(
+                f"dense hop matrix disabled above {DENSE_HOPS_MAX_P} ranks "
+                f"(topology has {self.p}); use hops_vec(srcs, dsts)"
+            )
         if self._hop_matrix is None:
-            placed = self.place_vector()
-            rows, cols = np.divmod(placed, self.mesh.cols)
+            rows, cols = self.placed_coords()
             hops = np.abs(rows[:, None] - rows[None, :]) + np.abs(
                 cols[:, None] - cols[None, :]
             )
@@ -209,7 +263,7 @@ class VirtualTopology:
             raise TopologyError(
                 f"edge ({src},{dst}) outside topology of {self.p} ranks"
             )
-        return int(self.hop_matrix()[src, dst])
+        return int(self.hops_vec(src, dst))
 
     def route_link_ids(self, src: int, dst: int) -> np.ndarray:
         """Directed hardware link ids of the logical edge's route.
@@ -257,14 +311,17 @@ class Ring(VirtualTopology):
 
     def __init__(self, mesh: Mesh2D):
         super().__init__(mesh)
-        order = []
-        for r in range(mesh.rows):
-            cols = range(mesh.cols) if r % 2 == 0 else range(mesh.cols - 1, -1, -1)
-            order.extend(mesh.rank_of(r, c) for c in cols)
-        self._place = order
+        # boustrophedon walk, built closed-form: row-major ranks with
+        # every odd row reversed (rank_of(r, c) == r * cols + c)
+        order = np.arange(mesh.p, dtype=np.int64).reshape(mesh.rows, mesh.cols)
+        order[1::2] = order[1::2, ::-1]
+        self._place = order.reshape(-1)
 
     def place(self, logical: int) -> int:
-        return self._place[logical]
+        return int(self._place[logical])
+
+    def _compute_place_vector(self) -> np.ndarray:
+        return np.asarray(self._place, dtype=np.int64)
 
     def succ(self, logical: int) -> int:
         return (logical + 1) % self.p
@@ -317,6 +374,13 @@ class Torus2D(VirtualTopology):
     def place(self, logical: int) -> int:
         lr, lc = self.grid_coords(logical)
         return self.mesh.rank_of(self._row_perm[lr], self._col_perm[lc])
+
+    def _compute_place_vector(self) -> np.ndarray:
+        lr, lc = np.divmod(np.arange(self.p, dtype=np.int64), self.grid_cols)
+        rp = np.asarray(self._row_perm, dtype=np.int64)
+        cp = np.asarray(self._col_perm, dtype=np.int64)
+        # rank_of(row, col) == row * mesh.cols + col
+        return rp[lr] * self.mesh.cols + cp[lc]
 
     # -- neighbour helpers used by gen_mult ---------------------------------------
     def west(self, logical: int) -> int:
@@ -407,6 +471,37 @@ def _binomial_rounds(p: int, root: int) -> tuple[tuple[tuple[int, int], ...], ..
         rounds.append(edges)
         informed += len(edges)
         k += 1
+    return tuple(rounds)
+
+
+@lru_cache(maxsize=512)
+def binomial_round_arrays(
+    p: int, root: int
+) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+    """Closed-form binomial broadcast schedule as per-round edge arrays.
+
+    Round *k* (step = 2^k) informs ranks ``step .. min(2*step, p) - 1``
+    relative to the root, so its edge list is exactly
+
+    ``rel = 0 .. min(step, p - step) - 1:  (rel + root) % p  →
+    (rel + step + root) % p``
+
+    — the same edges, in the same order, as the Python-tuple schedule
+    ``_binomial_rounds`` (the filter ``rel + step < p`` over
+    ``range(min(step, p))`` is the range ``min(step, p - step)``).  The
+    arrays are generated with ``np.arange`` in O(edges) numpy work, no
+    per-rank Python loop, and memoized read-only per ``(p, root)``.
+    """
+    rounds: list[tuple[np.ndarray, np.ndarray]] = []
+    step = 1
+    while step < p:
+        rel = np.arange(min(step, p - step), dtype=np.int64)
+        srcs = (rel + root) % p
+        dsts = (rel + step + root) % p
+        srcs.setflags(write=False)
+        dsts.setflags(write=False)
+        rounds.append((srcs, dsts))
+        step <<= 1
     return tuple(rounds)
 
 

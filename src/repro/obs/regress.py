@@ -22,6 +22,10 @@ gating rules respect what is deterministic and what is noisy:
 * **booleans are contracts.**  ``sim_identical`` (fused and per-rank
   paths agree bit-for-bit) may never flip from true to false, and
   entries present in the baseline may not disappear.
+* **new entries are additions, not failures.**  Entries present only in
+  the *current* snapshot (e.g. freshly added ``scale`` micros, or a new
+  section entirely) are reported informationally and never gate — a
+  growing benchmark surface must not trip the regression gate.
 
 Usage::
 
@@ -41,12 +45,18 @@ __all__ = [
     "compare_bench",
     "compare_analyze",
     "compare_snapshots",
+    "snapshot_additions",
     "format_regressions",
+    "format_additions",
     "main",
+    "BENCH_SECTIONS",
     "SIM_TOLERANCE",
     "SPEEDUP_GIVEBACK",
     "SPEEDUP_NOISE_FLOOR",
 ]
+
+#: entry-list sections of a ``repro-bench/1`` snapshot, in report order
+BENCH_SECTIONS = ("microbench", "end_to_end", "scale")
 
 #: relative tolerance on deterministic simulated seconds
 SIM_TOLERANCE = 0.02
@@ -93,7 +103,7 @@ def compare_bench(
 ) -> list[Regression]:
     """Gate a ``repro-bench/1`` pair; returns the regressions found."""
     out: list[Regression] = []
-    for section in ("microbench", "end_to_end"):
+    for section in BENCH_SECTIONS:
         base_entries = {
             _entry_key(section, e): e for e in baseline.get(section, [])
         }
@@ -176,6 +186,29 @@ def compare_analyze(
     return out
 
 
+def snapshot_additions(baseline: dict, current: dict) -> list[str]:
+    """Entry keys present only in the *current* snapshot.
+
+    These are informational — a freshly added benchmark (say, the
+    ``scale`` collective micros) has nothing in the baseline to regress
+    against, so it must never gate.  Only meaningful for bench
+    snapshots; analyze snapshots compare a fixed component set and
+    return an empty list.
+    """
+    if not baseline.get("schema", "").startswith("repro-bench/"):
+        return []
+    out: list[str] = []
+    for section in BENCH_SECTIONS:
+        base_keys = {
+            _entry_key(section, e) for e in baseline.get(section, [])
+        }
+        for e in current.get(section, []):
+            key = _entry_key(section, e)
+            if key not in base_keys:
+                out.append(key)
+    return sorted(out)
+
+
 def compare_snapshots(baseline: dict, current: dict, **kw) -> list[Regression]:
     """Dispatch on the snapshots' ``schema`` field."""
     bschema = baseline.get("schema", "")
@@ -196,6 +229,16 @@ def format_regressions(regs: list[Regression]) -> str:
         return "no regressions"
     lines = [f"{len(regs)} regression(s):"]
     lines += [f"  - {r}" for r in regs]
+    return "\n".join(lines)
+
+
+def format_additions(added: list[str]) -> str:
+    """Informational report of entries new in the current snapshot."""
+    if not added:
+        return ""
+    lines = [f"{len(added)} new entr{'y' if len(added) == 1 else 'ies'} "
+             "(informational, not gated):"]
+    lines += [f"  + {key}" for key in added]
     return "\n".join(lines)
 
 
@@ -226,6 +269,9 @@ def main(argv: list[str] | None = None) -> int:
         sim_tolerance=args.sim_tolerance,
         speedup_giveback=args.speedup_giveback,
     )
+    added = snapshot_additions(baseline, current)
+    if added:
+        print(format_additions(added))
     print(f"{args.baseline} -> {args.current}: {format_regressions(regs)}")
     return 1 if regs else 0
 

@@ -168,6 +168,20 @@ def _semiring_block_product_batched(gen_add, gen_mult, SA, SB, SC):
     return out
 
 
+def _uniform_partition_shape(arr: DistArray) -> tuple[int, ...] | None:
+    """Common partition shape of *arr*, ``None`` if partitions differ.
+
+    Block distributions answer closed-form from their split points
+    (O(grid) instead of an O(p) per-rank shape walk); anything else
+    falls back to walking the local blocks.
+    """
+    probe = getattr(arr.dist, "uniform_block_shape", None)
+    if probe is not None:
+        return probe()
+    shapes = {arr.local(r).shape for r in range(arr.dist.p)}
+    return shapes.pop() if len(shapes) == 1 else None
+
+
 def _require_square_torus(ctx, arr: DistArray, name: str) -> Torus2D:
     topo = ctx.machine.topology(arr.distr)
     if not isinstance(topo, Torus2D):
@@ -205,9 +219,9 @@ def array_gen_mult(
     g = topo.grid_rows
     if a.dist.grid != (g, g) or b.dist.grid != (g, g) or c.dist.grid != (g, g):
         raise SkeletonError("array_gen_mult: arrays must live on the torus grid")
-    shapes = {a.local(r).shape for r in range(ctx.p)}
-    shapes |= {b.local(r).shape for r in range(ctx.p)}
-    if len(shapes) != 1:
+    ua = _uniform_partition_shape(a)
+    ub = _uniform_partition_shape(b)
+    if ua is None or ua != ub:
         raise SkeletonError(
             "array_gen_mult: partitions must be equally sized (pad the matrix "
             "up to a multiple of the grid, as the paper does)"

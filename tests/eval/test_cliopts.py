@@ -48,6 +48,61 @@ class TestFlagUniformity:
         assert "--trace" in err
 
 
+class TestRunTargetParent:
+    """trace/analyze share --app/--p/--n/--seed through one parent."""
+
+    @pytest.mark.parametrize("sub", ["trace", "analyze"])
+    def test_run_target_flags_parse(self, sub):
+        args = _build_parser().parse_args(
+            [sub, "--app", "shpaths", "--p", "4", "--n", "8", "--seed", "7"]
+        )
+        assert (args.app, args.p, args.n, args.seed) == ("shpaths", 4, 8, 7)
+
+    @pytest.mark.parametrize("sub", ["trace", "analyze"])
+    def test_run_target_defaults_match(self, sub):
+        args = _build_parser().parse_args([sub])
+        assert (args.app, args.p, args.n, args.seed) == ("gauss-full", 9, 48, 0)
+
+
+class TestUsageValidation:
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_nonpositive_p_is_a_clean_usage_error(self, bad, capsys):
+        rc = main(["trace", "--app", "shpaths", "--p", bad, "--n", "8"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--p must be a positive integer" in err
+        assert "Traceback" not in err
+
+    def test_nonpositive_workers_is_a_clean_usage_error(self, capsys):
+        rc = main(["trace", "--app", "shpaths", "--p", "4", "--n", "8",
+                   "--workers", "0"])
+        assert rc == 2
+        assert "--workers must be a positive integer" in capsys.readouterr().err
+
+    def test_workers_flag_sets_the_env_default(self, monkeypatch):
+        import os
+
+        from repro.eval.cliopts import apply_backend
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        apply_backend(None, 3)
+        assert os.environ["REPRO_WORKERS"] == "3"
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+    def test_require_positive_accepts_none_and_positive(self):
+        from repro.eval.cliopts import require_positive
+
+        require_positive("--p", None)
+        require_positive("--p", 1)
+
+    def test_bench_rejects_nonpositive_workers(self, capsys):
+        from repro.eval.bench import main as bench_main
+
+        rc = bench_main(["--quick", "--workers", "-1"])
+        assert rc == 2
+        assert "--workers must be a positive integer" in capsys.readouterr().err
+
+
 class TestStreamTraceCli:
     def test_trace_stream_runs_and_spills(self, tmp_path, capsys):
         spill = tmp_path / "spill.jsonl"

@@ -11,8 +11,10 @@ from repro.obs.regress import (
     compare_analyze,
     compare_bench,
     compare_snapshots,
+    format_additions,
     format_regressions,
     main,
+    snapshot_additions,
 )
 
 ROOT = Path(__file__).resolve().parents[2]
@@ -81,6 +83,71 @@ class TestDeterministicGate:
         shrunk["microbench"] = shrunk["microbench"][1:]
         regs = compare_bench(perf, shrunk)
         assert any(r.metric == "coverage" for r in regs)
+
+
+class TestAdditions:
+    """Entries present only in the new snapshot are informational."""
+
+    def test_new_section_is_not_a_regression(self, committed):
+        # the committed pair is exactly this shape: the perf snapshot
+        # grew a scale section the baseline predates
+        _, perf = committed
+        base = copy.deepcopy(perf)
+        base.pop("scale", None)
+        assert compare_snapshots(base, perf) == []
+        added = snapshot_additions(base, perf)
+        assert added
+        assert all(k.startswith("scale/") for k in added)
+        assert "scale/broadcast p=65536" in added
+
+    def test_new_entry_in_existing_section_is_informational(self, committed):
+        _, perf = committed
+        grown = copy.deepcopy(perf)
+        grown["microbench"].append(
+            {"name": "shiny-new", "p": 128, "sim_seconds": 0.02}
+        )
+        assert compare_bench(perf, grown) == []
+        assert snapshot_additions(perf, grown) == ["microbench/shiny-new p=128"]
+
+    def test_scale_entries_present_in_both_are_gated(self):
+        base = {
+            "schema": "repro-bench/1",
+            "scale": [{"name": "allreduce", "p": 1024, "sim_seconds": 0.01}],
+        }
+        slow = copy.deepcopy(base)
+        slow["scale"][0]["sim_seconds"] = 0.02
+        regs = compare_bench(base, slow)
+        assert regs and regs[0].metric == "sim_seconds"
+        assert regs[0].entry == "scale/allreduce p=1024"
+        missing = {"schema": "repro-bench/1", "scale": []}
+        regs = compare_bench(base, missing)
+        assert any(r.metric == "coverage" for r in regs)
+
+    def test_cli_reports_additions_without_failing(
+        self, committed, tmp_path, capsys
+    ):
+        _, perf = committed
+        base = copy.deepcopy(perf)
+        base.pop("scale", None)
+        b, c = tmp_path / "b.json", tmp_path / "c.json"
+        b.write_text(json.dumps(base))
+        c.write_text(json.dumps(perf))
+        assert main([str(b), str(c)]) == 0
+        out = capsys.readouterr().out
+        assert "scale/gather p=4096" in out
+        assert "not gated" in out
+        assert "no regressions" in out
+
+    def test_format_additions(self):
+        assert format_additions([]) == ""
+        one = format_additions(["scale/bcast p=1024"])
+        assert "1 new entry" in one
+        many = format_additions(["a", "b"])
+        assert "2 new entries" in many
+
+    def test_analyze_snapshots_have_no_additions(self):
+        snap = dict(TestAnalyzeSnapshots.SNAP)
+        assert snapshot_additions(snap, snap) == []
 
 
 class TestWallClockGate:
