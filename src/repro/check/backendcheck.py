@@ -29,6 +29,11 @@ Three trial families interleave:
 3. **applications** — Gaussian elimination and shortest paths at
    p ∈ {4, 16}.
 
+Every trial runs each backend twice — wall profiler off and on
+(``Machine(profile=...)``) — and compares all six runs against the
+unprofiled ``sim`` reference: profiling reads wall clocks only and must
+never perturb the cost model on any backend.
+
 Worker processes are reused across a trial's skeleton calls but never
 across backends (each machine is closed before the next one starts), so
 a trial also exercises pool/shm teardown.
@@ -122,23 +127,34 @@ def _compare_runs(ref: _Run, got: _Run, backend: str, label: str) -> str | None:
 
 
 def _run_everywhere(workload, p: int, label: str) -> str | None:
-    """Run *workload(ctx)* once per backend and compare to ``sim``.
+    """Run *workload(ctx)* per backend x {profiler off, on}; compare all
+    six runs bitwise to the unprofiled ``sim`` reference.
 
     *workload* returns ``(arrays, scalars)`` — DistArrays still alive
-    (their ``global_view`` is compared) and scalar results.
+    (their ``global_view`` is compared) and scalar results.  The
+    profiled variants (tagged ``<backend>+prof``) assert the wall
+    profiler's own promise: attaching it must not perturb clocks, stats,
+    metrics or results on any backend.
     """
     runs: dict[str, _Run] = {}
     for backend in BACKENDS_CHECKED:
-        machine = Machine(p, trace_level=1, backend=backend, workers=2)
-        try:
-            with isolated_metrics():
-                arrays, scalars = workload(SkilContext(machine))
-                views = [a.global_view() for a in arrays]
-            runs[backend] = _Run(machine, views, scalars)
-        finally:
-            machine.close()
-    for backend in BACKENDS_CHECKED[1:]:
-        msg = _compare_runs(runs["sim"], runs[backend], backend, label)
+        for profiled in (False, True):
+            machine = Machine(
+                p, trace_level=1, backend=backend, workers=2,
+                profile=profiled,
+            )
+            try:
+                with isolated_metrics():
+                    arrays, scalars = workload(SkilContext(machine))
+                    views = [a.global_view() for a in arrays]
+                tag = f"{backend}+prof" if profiled else backend
+                runs[tag] = _Run(machine, views, scalars)
+            finally:
+                machine.close()
+    for tag, run in runs.items():
+        if tag == "sim":
+            continue
+        msg = _compare_runs(runs["sim"], run, tag, label)
         if msg is not None:
             return msg
     return None

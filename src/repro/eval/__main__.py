@@ -12,6 +12,9 @@ Usage::
                               [--metrics-out m.prom]
    python -m repro.eval analyze [--app gauss] [--p 16] [--n 48]
                               [--json-out analyze.json] [--no-whatif]
+   python -m repro.eval profile [--app gauss] [--p 16] [--n 48]
+                              [--backend threads|mp] [--workers 2]
+                              [--json-out profile.json]
    python -m repro.eval bench [--quick] [--out BENCH_perf.json]
                               [--check-against BENCH_perf.json]
                               [--backend threads|mp]
@@ -22,11 +25,13 @@ simulation really performs the numeric work; smaller scales shrink the
 matrices proportionally.
 
 Every subcommand accepts the shared observability flags ``--trace``,
-``--metrics-out``, ``--quiet`` and ``--backend`` (see
-:mod:`repro.eval.cliopts`); ``trace`` keeps ``--json`` as a
-back-compatible alias of ``--trace``.  ``--backend threads|mp`` runs
-the skeleton kernels on real cores — every artefact stays bit-identical
-because simulated time is charged analytically either way.
+``--metrics-out``, ``--quiet``, ``--backend``, ``--workers``,
+``--profile`` and ``--profile-out`` (see :mod:`repro.eval.cliopts`);
+``trace`` keeps ``--json`` as a back-compatible alias of ``--trace``.
+``--backend threads|mp`` runs the skeleton kernels on real cores —
+every artefact stays bit-identical because simulated time is charged
+analytically either way.  ``profile`` correlates the two clocks:
+simulated speedup vs measured wall, attribution, worker utilization.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from repro.eval.cliopts import (
     representative_obs_run,
     require_positive,
     run_target_parent,
+    validate_profile_flags,
     write_obs_artifacts,
 )
 
@@ -150,6 +156,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rows in the blocking-edge/imbalance tables",
     )
 
+    pr = sub.add_parser(
+        "profile",
+        parents=[parent, target],
+        help="sim-vs-wall wall-clock profile of one run "
+        "(dispatch/kernel/ship/idle attribution)",
+    )
+    pr.add_argument(
+        "--json-out",
+        metavar="FILE",
+        default=None,
+        help="write the repro-profile/1 snapshot (alias: --profile-out)",
+    )
+
     return parser
 
 
@@ -172,9 +191,14 @@ def _main(argv: list[str]) -> int:
 
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.what in ("trace", "analyze"):
+    if args.what in ("trace", "analyze", "profile"):
         require_positive("--p", args.p)
         require_positive("--n", args.n)
+    if args.what == "profile":
+        # the profile subcommand always profiles; --profile-out alone is
+        # legal here and doubles as --json-out
+        args.profile = True
+    validate_profile_flags(args)
     apply_backend(args.backend, args.workers)
 
     if args.what == "trace":
@@ -193,6 +217,8 @@ def _main(argv: list[str]) -> int:
             heartbeat_every=args.heartbeat_every
             if not args.quiet
             else None,
+            profile=args.profile,
+            profile_out=args.profile_out,
         )
         print(text)
         return 0
@@ -211,9 +237,27 @@ def _main(argv: list[str]) -> int:
                 json_out=args.json_out,
                 trace_out=args.trace,
                 metrics_out=args.metrics_out,
+                profile=args.profile,
+                profile_out=args.profile_out,
             )
         )
         return 0
+
+    if args.what == "profile":
+        from repro.eval.profilecmd import run_profile_command
+
+        text, rc = run_profile_command(
+            app=args.app,
+            p=args.p,
+            n=args.n,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+            json_out=args.json_out or args.profile_out,
+            quiet=args.quiet,
+        )
+        print(text)
+        return rc
 
     # ---------------------------------------------------------- artefacts
     if not (0 < args.scale <= 1.0):
@@ -285,7 +329,10 @@ def _main(argv: list[str]) -> int:
             texts.append(format_ablation(fn(scale=args.scale)))
         emit("ablations.txt", "\n\n".join(texts))
 
-    footer = representative_obs_run(args.trace, args.metrics_out)
+    footer = representative_obs_run(
+        args.trace, args.metrics_out,
+        profile=args.profile, profile_path=args.profile_out,
+    )
     if footer and not args.quiet:
         print("\n".join(footer))
     return 0

@@ -103,6 +103,13 @@ BACKEND_MICRO_PS = (4, 16)
 #: parallel hardware for the thread pool to win on)
 THREADS_MAP_SPEEDUP_FLOOR = 1.5
 
+#: ceiling on the wall-clock cost of attaching the wall profiler
+#: (``profile_overhead`` gate): a profiled run may be at most this much
+#: slower than the same run unprofiled.  The profiler adds two
+#: ``monotonic()`` stamps per block plus O(1) bookkeeping per dispatch,
+#: so 1.25x is generous; blowing it means a hot-path regression.
+PROFILE_OVERHEAD_LIMIT = 1.25
+
 
 def _set_fusion(enabled: bool) -> bool:
     """Flip the global fusion default; returns False when the fused
@@ -430,6 +437,49 @@ def run_obs_overhead(quick: bool, repeat: int, seed: int) -> dict:
     }
 
 
+def run_profile_overhead(quick: bool, repeat: int, seed: int) -> dict:
+    """Time one gauss run on the threads backend, profiler off vs on.
+
+    The wall profiler must be near-free when attached: the ``overhead``
+    factor is gated against :data:`PROFILE_OVERHEAD_LIMIT` by ``main``,
+    and the simulated makespan must stay bit-identical (profiling reads
+    wall clocks only, never the cost model).  gauss is the app whose
+    kernels actually dispatch to workers, so the per-block stamping hot
+    path is exercised for real.
+    """
+    from repro.eval.tracecmd import run_traced
+
+    p, n = (16, 32) if quick else (64, 64)
+
+    def _runner(profile: bool) -> Callable[[], float]:
+        def run() -> float:
+            r = run_traced(
+                "gauss", p=p, n=n, seed=seed, trace_level=0,
+                backend="threads", workers=2, profile=profile,
+            )
+            sim = r.machine.time
+            r.machine.close()
+            return sim
+
+        return run
+
+    off_s, sim_off = _time_best(_runner(False), repeat)
+    profiled_s, sim_on = _time_best(_runner(True), repeat)
+    return {
+        "name": "profile_overhead_gauss",
+        "backend": "threads",
+        "workers": 2,
+        "p": p,
+        "n": n,
+        "off_s": round(off_s, 6),
+        "profiled_s": round(profiled_s, 6),
+        "overhead": round(profiled_s / off_s, 3) if off_s > 0 else None,
+        "sim_seconds": sim_off,
+        "sim_identical": sim_off == sim_on,
+        "limit": PROFILE_OVERHEAD_LIMIT,
+    }
+
+
 # ---------------------------------------------------------------------------
 # extreme scale — closed-form collectives at p up to 65536
 # ---------------------------------------------------------------------------
@@ -645,6 +695,15 @@ def run_bench(
         f"sim-identical={obs['sim_identical']}"
     )
 
+    profo = run_profile_overhead(quick, repeat, seed)
+    report["profile_overhead"] = profo
+    print(
+        f"prof  {profo['name']:15s} off {profo['off_s']:.4f}s  "
+        f"profiled {profo['profiled_s']:.4f}s  "
+        f"overhead {profo['overhead']}x  "
+        f"sim-identical={profo['sim_identical']}"
+    )
+
     if e2e:
         shp_n, gauss_n = (32, 32) if quick else (128, 128)
         for name, fn in (
@@ -714,6 +773,14 @@ def validate_schema(doc: dict) -> list[str]:
                     "stream_overhead", "sim_identical"):
             if key not in obs:
                 problems.append(f"obs_overhead missing {key!r}")
+    # the profile_overhead section arrived with the wall profiler;
+    # tolerate committed baselines written before it existed
+    profo = doc.get("profile_overhead")
+    if profo is not None:
+        for key in ("name", "off_s", "profiled_s", "overhead",
+                    "sim_identical"):
+            if key not in profo:
+                problems.append(f"profile_overhead missing {key!r}")
     # the backend section is optional: present only when the harness ran
     # with --backend threads|mp
     back = doc.get("backend")
@@ -767,6 +834,7 @@ def main(argv: list[str] | None = None) -> int:
         apply_backend,
         obs_parent,
         representative_obs_run,
+        validate_profile_flags,
     )
 
     ap = argparse.ArgumentParser(
@@ -794,6 +862,7 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
     try:
         # bench drives backends itself, so only --workers applies here
+        validate_profile_flags(args)
         apply_backend(None, args.workers)
     except UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -824,7 +893,10 @@ def main(argv: list[str] | None = None) -> int:
     if not args.quiet:
         print(f"wrote {args.out}")
 
-    footer = representative_obs_run(args.trace, args.metrics_out)
+    footer = representative_obs_run(
+        args.trace, args.metrics_out,
+        profile=args.profile, profile_path=args.profile_out,
+    )
     if footer and not args.quiet:
         print("\n".join(footer))
 
@@ -846,6 +918,20 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"{obs['name']}: stream-mode overhead {overhead}x exceeds "
                 f"the {OBS_OVERHEAD_LIMIT}x ceiling vs trace-off"
+            )
+    profo = report.get("profile_overhead")
+    if profo is not None:
+        if not profo["sim_identical"]:
+            failures.append(
+                f"{profo['name']}: simulated seconds differ with the wall "
+                "profiler attached (profiling must not perturb the "
+                "simulation)"
+            )
+        overhead = profo.get("overhead")
+        if overhead is not None and overhead > PROFILE_OVERHEAD_LIMIT:
+            failures.append(
+                f"{profo['name']}: profiled wall {overhead}x exceeds the "
+                f"{PROFILE_OVERHEAD_LIMIT}x ceiling vs the unprofiled run"
             )
     back = report.get("backend")
     if back is not None:

@@ -37,6 +37,18 @@ definitions cannot drift again:
     for this process).  Rejected with a clear usage error when
     nonpositive, as is ``--p`` on the run-target subcommands.
 
+``--profile``
+    Attach the wall-clock worker-plane profiler
+    (:class:`~repro.obs.prof.WallProfiler`) to the command's traced run
+    (same representative-run rule as ``--trace``).  Wall-clock only;
+    simulated seconds and every artefact stay bit-identical.  With
+    ``--trace`` the Chrome JSON gains the dual-clock wall tracks.
+
+``--profile-out FILE``
+    Write the profiler's ``repro-profile/1`` JSON snapshot.  Requires
+    ``--profile`` (a clean usage error otherwise); the ``profile``
+    subcommand, which always profiles, accepts it alone.
+
 The run-target flags (``--app`` / ``--p`` / ``--n`` / ``--seed``) that
 ``trace`` and ``analyze`` share live in :func:`run_target_parent` for
 the same no-drift reason.
@@ -55,6 +67,7 @@ __all__ = [
     "representative_obs_run",
     "require_positive",
     "run_target_parent",
+    "validate_profile_flags",
     "write_obs_artifacts",
 ]
 
@@ -97,6 +110,19 @@ def obs_parent() -> argparse.ArgumentParser:
         help="worker count for the real backends (default: the "
         "REPRO_WORKERS env var, else min(p, cores))",
     )
+    g.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the wall-clock worker-plane profiler to the traced "
+        "run (wall-clock only; simulated seconds are unchanged)",
+    )
+    g.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="write the profiler's repro-profile/1 JSON snapshot "
+        "(requires --profile)",
+    )
     return parent
 
 
@@ -126,6 +152,19 @@ def require_positive(flag: str, value: int | None) -> None:
         raise UsageError(f"{flag} must be a positive integer, got {value}")
 
 
+def validate_profile_flags(args) -> None:
+    """``--profile-out`` without ``--profile`` is a usage error.
+
+    The ``profile`` subcommand always profiles (its args carry
+    ``profile=True`` by construction), so this single rule holds
+    uniformly across the whole subcommand family.
+    """
+    if getattr(args, "profile_out", None) is not None and not getattr(
+        args, "profile", False
+    ):
+        raise UsageError("--profile-out requires --profile")
+
+
 def apply_backend(name: str | None, workers: int | None = None) -> None:
     """Make ``--backend``/``--workers`` the process-wide defaults.
 
@@ -146,6 +185,7 @@ def write_obs_artifacts(
     machine,
     trace_path: str | None,
     metrics_path: str | None,
+    profile_path: str | None = None,
 ) -> list[str]:
     """Write the requested artefacts from *machine*; returns footer lines.
 
@@ -178,21 +218,42 @@ def write_obs_artifacts(
         with open(metrics_path, "w", encoding="utf-8") as fh:
             fh.write(machine.metrics.render_text())
         lines.append(f"Prometheus metrics written to {metrics_path}")
+    if profile_path is not None:
+        import json
+
+        profiler = getattr(machine, "profiler", None)
+        if profiler is None:
+            raise SkilError(
+                "--profile-out needs a profiled run (pass --profile)"
+            )
+        with open(profile_path, "w", encoding="utf-8") as fh:
+            json.dump(profiler.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        lines.append(
+            f"wall-clock profile snapshot written to {profile_path}"
+        )
     return lines
 
 
 def representative_obs_run(
-    trace_path: str | None, metrics_path: str | None
+    trace_path: str | None,
+    metrics_path: str | None,
+    profile: bool = False,
+    profile_path: str | None = None,
 ) -> list[str]:
-    """Satisfy ``--trace``/``--metrics-out`` for commands without a
-    single traced run (``all``, the table commands, ``bench``): run the
-    default trace app once, traced, and export from that."""
-    if trace_path is None and metrics_path is None:
+    """Satisfy ``--trace``/``--metrics-out``/``--profile`` for commands
+    without a single traced run (``all``, the table commands,
+    ``bench``): run the default trace app once, traced, and export from
+    that."""
+    if trace_path is None and metrics_path is None and not profile:
         return []
     from repro.eval.tracecmd import run_traced
 
-    run = run_traced("gauss-full", p=9, n=48)
-    lines = write_obs_artifacts(run.machine, trace_path, metrics_path)
+    run = run_traced("gauss-full", p=9, n=48, profile=profile)
+    lines = write_obs_artifacts(
+        run.machine, trace_path, metrics_path, profile_path
+    )
+    run.machine.close()
     return [
         "representative traced run: gauss-full p=9 n=48",
         *lines,

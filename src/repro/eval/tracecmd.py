@@ -57,6 +57,9 @@ def run_traced(
     trace_mode: str = "record",
     stream=None,
     heartbeat_every: float | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
+    profile: bool = False,
 ) -> TraceRun:
     """Run *app* on a fresh traced machine; returns the run handle.
 
@@ -70,6 +73,11 @@ def run_traced(
     sinks (optionally configured by *stream*, a
     :class:`~repro.obs.stream.StreamConfig`); *heartbeat_every* then
     attaches a wall-clock progress heartbeat at that interval.
+
+    *backend*/*workers* pick the execution backend (``None`` keeps the
+    process default); *profile* attaches the wall-clock profiler
+    (``run.machine.profiler`` afterwards).  Neither changes simulated
+    seconds.
     """
     if app not in TRACE_APPS:
         raise SkilError(f"unknown trace app {app!r}; choose from {TRACE_APPS}")
@@ -78,6 +86,9 @@ def run_traced(
         trace_level=trace_level,
         trace_mode=trace_mode,
         stream=stream,
+        backend=backend,
+        workers=workers,
+        profile=profile,
         **({"cost": cost} if cost is not None else {}),
     )
     if heartbeat_every is not None and machine.stream_obs is not None:
@@ -151,6 +162,8 @@ def run_trace_command(
     stream: bool = False,
     sample_size: int = 1024,
     heartbeat_every: float | None = None,
+    profile: bool = False,
+    profile_out: str | None = None,
 ) -> str:
     """Drive one traced run; returns the report text, writes *out* JSON.
 
@@ -158,6 +171,10 @@ def run_trace_command(
     ``--trace`` file) becomes the streaming JSONL event spill — the
     stream retains no recording, so there is no Chrome JSON to write
     after the fact; events spill as they happen instead.
+
+    With *profile* the wall profiler rides along: the Chrome JSON gains
+    the dual-clock wall tracks and *profile_out* receives the
+    ``repro-profile/1`` snapshot.
     """
     stream_cfg = None
     if stream:
@@ -175,6 +192,7 @@ def run_trace_command(
         trace_mode="stream" if stream else "record",
         stream=stream_cfg,
         heartbeat_every=heartbeat_every,
+        profile=profile,
     )
     text = trace_report_text(run)
     if out is not None:
@@ -195,6 +213,13 @@ def run_trace_command(
         with open(metrics_out, "w", encoding="utf-8") as fh:
             fh.write(run.machine.metrics.render_text())
         text += f"\n\nPrometheus metrics written to {metrics_out}"
+    if profile_out is not None:
+        from repro.eval.cliopts import write_obs_artifacts
+
+        for line in write_obs_artifacts(
+            run.machine, None, None, profile_out
+        ):
+            text += f"\n\n{line}"
     return text
 
 
@@ -208,6 +233,8 @@ def run_analyze_command(
     json_out: str | None = None,
     trace_out: str | None = None,
     metrics_out: str | None = None,
+    profile: bool = False,
+    profile_out: str | None = None,
 ) -> str:
     """Drive one traced run through the critical-path analysis.
 
@@ -222,7 +249,7 @@ def run_analyze_command(
 
     from repro.obs.analysis import analyze_machine, run_whatif
 
-    run = run_traced(app, p=p, n=n, seed=seed)
+    run = run_traced(app, p=p, n=n, seed=seed, profile=profile)
     analysis = analyze_machine(run.machine)
     whatifs = None
     if whatif:
@@ -259,9 +286,11 @@ def run_analyze_command(
             json.dump(snap, fh, indent=2, sort_keys=True)
             fh.write("\n")
         text += f"\n\nanalysis snapshot written to {json_out}"
-    if trace_out is not None or metrics_out is not None:
+    if trace_out is not None or metrics_out is not None or profile_out is not None:
         from repro.eval.cliopts import write_obs_artifacts
 
-        for line in write_obs_artifacts(run.machine, trace_out, metrics_out):
+        for line in write_obs_artifacts(
+            run.machine, trace_out, metrics_out, profile_out
+        ):
             text += f"\n\n{line}"
     return text

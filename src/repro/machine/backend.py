@@ -53,6 +53,10 @@ __all__ = [
 
 BACKENDS = ("sim", "threads", "mp")
 
+
+def _kernel_name(kernel) -> str:
+    return getattr(kernel, "__name__", type(kernel).__name__)
+
 _BACKEND_DEFAULT = os.environ.get("REPRO_BACKEND", "sim")
 
 
@@ -98,9 +102,28 @@ class ExecBackend:
     #: whether skeletons should decompose work into per-rank tasks for
     #: this backend (False: keep the single-process fused fast path)
     parallel = False
+    #: the attached :class:`~repro.obs.prof.WallProfiler`, or ``None``
+    #: (the default) — ``Machine(profile=True)`` sets it.  Wall-clock
+    #: only; never consulted by any cost-charging code
+    profiler = None
 
     def run_blocks(self, kernel: Callable, tasks: Sequence[tuple]) -> list:
-        return [kernel(*t) for t in tasks]
+        prof = self.profiler
+        if prof is None:
+            return [kernel(*t) for t in tasks]
+        # profiled inline execution: the main thread is "worker 0"
+        d = prof.dispatch_begin(self.name, _kernel_name(kernel), len(tasks))
+        prof.note_post(d)
+        try:
+            out = []
+            for t in tasks:
+                t0 = prof.clock()
+                r = kernel(*t)
+                prof.block(d, 0, t0, t0, prof.clock())
+                out.append(r)
+            return out
+        finally:
+            prof.dispatch_end(d)
 
     def alloc_pool(self, shape, dtype) -> np.ndarray:
         """Allocate a pooled array buffer visible to the backend's
@@ -156,12 +179,40 @@ class ThreadsBackend(ExecBackend):
         return self._pool
 
     def run_blocks(self, kernel, tasks):
+        if self.profiler is not None:
+            return self._run_blocks_profiled(kernel, tasks)
         if len(tasks) <= 1:
             return [kernel(*t) for t in tasks]
         futures = [self._executor().submit(kernel, *t) for t in tasks]
         # collect in task order; exceptions (FusionFallback included)
         # propagate to the caller exactly as in the sequential loop
         return [f.result() for f in futures]
+
+    def _run_blocks_profiled(self, kernel, tasks):
+        import threading
+
+        prof = self.profiler
+        d = prof.dispatch_begin("threads", _kernel_name(kernel), len(tasks))
+
+        def timed(task, t_enq):
+            slot = prof.worker_slot(threading.get_ident())
+            t0 = prof.clock()
+            try:
+                return kernel(*task)
+            finally:
+                # stamped even when the kernel raises (FusionFallback):
+                # the wall time was really spent
+                prof.block(d, slot, t_enq, t0, prof.clock())
+
+        prof.note_post(d)
+        try:
+            if len(tasks) <= 1:
+                return [timed(t, prof.clock()) for t in tasks]
+            ex = self._executor()
+            futures = [(ex.submit(timed, t, prof.clock())) for t in tasks]
+            return [f.result() for f in futures]
+        finally:
+            prof.dispatch_end(d)
 
     def reset(self, seed: int = 0) -> None:
         # thread workers hold no kernel caches or RNG state; nothing to
@@ -230,6 +281,8 @@ class MpBackend(ExecBackend):
 
         cached = self._ship_cache.get(id(kernel))
         if cached is not None and cached[2]() is kernel:
+            if self.profiler is not None:
+                self.profiler.ship_cache_hit()
             return cached[0], cached[1]
         data = ship_kernel(kernel)
         kid = kernel_fingerprint(data)
@@ -240,6 +293,8 @@ class MpBackend(ExecBackend):
         except TypeError:  # pragma: no cover - unweakrefable callable
             ref = lambda: kernel  # noqa: E731
         self._ship_cache[id(kernel)] = (kid, data, ref)
+        if self.profiler is not None:
+            self.profiler.ship_cache_miss(len(data))
         return kid, data
 
     def _describe(self, value) -> tuple:
@@ -257,20 +312,55 @@ class MpBackend(ExecBackend):
     def run_blocks(self, kernel, tasks):
         if not tasks:
             return []
+        prof = self.profiler
+        if prof is None:
+            kid, data = self._ship(kernel)
+            pool = self._worker_pool()
+            pool.ensure_kernel(kid, data)
+            arg_descs = [[self._describe(a) for a in t] for t in tasks]
+            try:
+                return pool.run_tasks(kid, arg_descs)
+            except MachineError as exc:
+                if getattr(exc, "worker_exc", None) == "FusionFallback":
+                    # a worker-side fallback is the same control flow as
+                    # a local one: the caller reverts to the sequential
+                    # loop
+                    from repro.skeletons.fuse import FusionFallback
+
+                    raise FusionFallback(str(exc)) from None
+                raise
+        # profiled path: same calls, plus wall stamps.  ship_s covers
+        # kernel shipping and argument description (the main-process
+        # cost of getting the batch to the process boundary)
+        t_enter = prof.clock()
         kid, data = self._ship(kernel)
         pool = self._worker_pool()
-        pool.ensure_kernel(kid, data)
+        n_sent = pool.ensure_kernel(kid, data)
+        if n_sent:
+            prof.worker_sends(n_sent, n_sent * len(data))
         arg_descs = [[self._describe(a) for a in t] for t in tasks]
+        d = prof.dispatch_begin(
+            "mp", _kernel_name(kernel), len(tasks),
+            ship_s=prof.clock() - t_enter,
+        )
+        prof.note_post(d)
         try:
-            return pool.run_tasks(kid, arg_descs)
+            results, stamps = pool.run_tasks(kid, arg_descs, profiler=prof)
+            for stamp in stamps:
+                if stamp is not None:
+                    worker, t0, t1 = stamp
+                    # enqueue == post time: tasks go on worker queues
+                    # immediately after note_post
+                    prof.block(d, worker, d.t_post, t0, t1)
+            return results
         except MachineError as exc:
             if getattr(exc, "worker_exc", None) == "FusionFallback":
-                # a worker-side fallback is the same control flow as a
-                # local one: the caller reverts to the sequential loop
                 from repro.skeletons.fuse import FusionFallback
 
                 raise FusionFallback(str(exc)) from None
             raise
+        finally:
+            prof.dispatch_end(d)
 
     def reset(self, seed: int = 0) -> None:
         self._seed = seed

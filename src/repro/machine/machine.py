@@ -124,6 +124,15 @@ class Machine:
     workers:
         Worker count for the real backends (default: ``REPRO_WORKERS``
         or ``min(p, cores)``).
+    profile:
+        Attach a :class:`~repro.obs.prof.WallProfiler` to the worker
+        plane (``True``, or a ready-made profiler instance).  Wall-clock
+        only: the profiler owns its own metrics registry and never
+        touches the network, so simulated seconds, :class:`TraceStats`,
+        records and the machine's metrics stay bitwise identical with
+        profiling on or off (asserted by the ``backend`` pillar).
+        Zero-cost when off (the default): every instrumented hot path
+        is a single ``is None`` test.
     """
 
     def __init__(
@@ -139,6 +148,7 @@ class Machine:
         stream=None,
         backend=None,
         workers: int | None = None,
+        profile=False,
     ):
         if p <= 0:
             raise MachineError(f"need a positive processor count, got {p}")
@@ -215,6 +225,19 @@ class Machine:
         #: kernels; never touches the network, so it cannot perturb
         #: simulated time
         self.backend = make_backend(backend, p, workers)
+        #: the wall-clock :class:`~repro.obs.prof.WallProfiler`, or
+        #: ``None`` (the default) — see the ``profile`` parameter
+        self.profiler = None
+        if profile:
+            from repro.obs.prof import WallProfiler
+
+            self.profiler = (
+                profile if isinstance(profile, WallProfiler) else WallProfiler()
+            )
+            self.backend.profiler = self.profiler
+            arena = getattr(self.backend, "arena", None)
+            if arena is not None:
+                arena.profiler = self.profiler
         self._closed = False
 
     # ------------------------------------------------------------------ time
@@ -250,6 +273,15 @@ class Machine:
             return
         self._closed = True
         self.backend.close()
+        if self.profiler is not None:
+            # detach the profiler from the worker plane (after teardown,
+            # so close-time segment frees still reach the shm gauges);
+            # the collected stamps stay readable on ``self.profiler``
+            # for post-run export
+            self.backend.profiler = None
+            arena = getattr(self.backend, "arena", None)
+            if arena is not None:
+                arena.profiler = None
 
     def __enter__(self) -> "Machine":
         return self
@@ -287,6 +319,8 @@ class Machine:
             self.timeline.clear()
         if self.stream_obs is not None:
             self.stream_obs.clear()
+        if self.profiler is not None:
+            self.profiler.clear()
         # reseed/flush backend worker state too — without this,
         # back-to-back trials in one process see stale worker caches and
         # in-flight results from the previous trial (the flaky seam)

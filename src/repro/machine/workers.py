@@ -100,6 +100,10 @@ class Mailbox:
         self.owner = owner
         self._q = queue if queue is not None else queue_mod.SimpleQueue()
         self._buffer: deque[Message] = deque()
+        #: optional queue-depth probe (``callable(depth)``): invoked with
+        #: the buffered depth after every successful receive — the wall
+        #: profiler wires :meth:`WallProfiler.mailbox_depth` here
+        self.depth_probe = None
 
     # ------------------------------------------------------------------ send
     def post(self, msg: Message) -> None:
@@ -137,6 +141,8 @@ class Mailbox:
             for i, msg in enumerate(self._buffer):
                 if self._matches(msg, src, tag):
                     del self._buffer[i]
+                    if self.depth_probe is not None:
+                        self.depth_probe(len(self._buffer))
                     return msg
             if liveness is not None:
                 liveness()
@@ -199,6 +205,9 @@ class SharedArena:
         self._segments: dict[str, Any] = {}
         self._by_addr: dict[int, tuple[str, int]] = {}  # addr -> (name, nbytes)
         self._closed = False
+        #: optional :class:`~repro.obs.prof.WallProfiler` receiving
+        #: segment/bytes-live gauge updates (``Machine(profile=True)``)
+        self.profiler = None
 
     def allocate(self, shape, dtype) -> np.ndarray:
         from multiprocessing import shared_memory
@@ -211,6 +220,8 @@ class SharedArena:
         arr.fill(0)
         self._segments[name] = seg
         self._by_addr[arr.__array_interface__["data"][0]] = (name, nbytes)
+        if self.profiler is not None:
+            self.profiler.shm_alloc(nbytes)
         return arr
 
     def descriptor(self, view: np.ndarray) -> tuple | None:
@@ -234,12 +245,14 @@ class SharedArena:
         entry = self._by_addr.pop(addr, None)
         if entry is None:
             return
-        name, _ = entry
+        name, nbytes = entry
         seg = self._segments.pop(name, None)
         if seg is not None:
             del arr  # drop the exported buffer view before closing
             seg.close()
             seg.unlink()
+            if self.profiler is not None:
+                self.profiler.shm_free(nbytes)
 
     def segment_names(self) -> list[str]:
         return sorted(self._segments)
@@ -254,6 +267,10 @@ class SharedArena:
                 seg.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+        if self.profiler is not None:
+            for name, nbytes in self._by_addr.values():
+                if name in self._segments:
+                    self.profiler.shm_free(nbytes)
         self._segments.clear()
         self._by_addr.clear()
 
@@ -478,16 +495,29 @@ def _worker_main(rank: int, inbox_q, result_q) -> None:
                     kernels[kid] = unship_kernel(data)
                 continue
             if msg.tag == TAG_TASK:
-                epoch, task_id, kid, arg_descs = msg.payload
+                # payload may carry a trailing want_stamps flag (wall
+                # profiler attached); old 4-tuples keep working
+                epoch, task_id, kid, arg_descs = msg.payload[:4]
+                want_stamps = len(msg.payload) > 4 and msg.payload[4]
                 try:
                     args = [
                         _attach_view(shm_cache, a[1]) if a[0] == "shm" else a[1]
                         for a in arg_descs
                     ]
+                    # wall stamps bracket the kernel call only (argument
+                    # attachment is dispatch work); CLOCK_MONOTONIC is
+                    # system-wide on Linux, so these are comparable to
+                    # main-process stamps
+                    t0 = time.monotonic() if want_stamps else 0.0
                     out = kernels[kid](*args)
+                    stamps = (t0, time.monotonic()) if want_stamps else None
+                    body = (
+                        (epoch, "ok", np.asarray(out), stamps)
+                        if want_stamps
+                        else (epoch, "ok", np.asarray(out))
+                    )
                     result_q.put(
-                        Message(rank, MAIN, TAG_RESULT, task_id,
-                                (epoch, "ok", np.asarray(out)))
+                        Message(rank, MAIN, TAG_RESULT, task_id, body)
                     )
                 except Exception as exc:  # surfaced in the main process
                     import traceback
@@ -575,24 +605,45 @@ class WorkerPool:
             Message(MAIN, worker, tag, next(self._seq), payload)
         )
 
-    def ensure_kernel(self, kid: str, data: bytes) -> None:
-        """Ship kernel *data* to every worker that has not seen it."""
+    def ensure_kernel(self, kid: str, data: bytes) -> int:
+        """Ship kernel *data* to every worker that has not seen it;
+        returns how many workers it was actually sent to."""
+        sent = 0
         for w in range(self.n_workers):
             if (w, kid) not in self._shipped:
                 self._post(w, TAG_KERNEL, (kid, data))
                 self._shipped.add((w, kid))
+                sent += 1
+        return sent
 
-    def run_tasks(self, kid: str, arg_descs_per_task: list[list]) -> list:
+    def run_tasks(
+        self, kid: str, arg_descs_per_task: list[list], profiler=None
+    ):
         """Execute one task per entry, round-robin over the workers;
-        returns results in task order."""
+        returns results in task order.
+
+        With a *profiler* attached, tasks request in-worker wall stamps
+        and the return value becomes ``(results, stamps)`` where
+        ``stamps[task_id]`` is ``(worker, start, end)`` (or ``None`` for
+        a result that carried no stamps).  Without one, the historical
+        plain list comes back — the unprofiled path is byte-for-byte the
+        old protocol.
+        """
         self._check_alive()
+        want = profiler is not None
+        if want:
+            # sample result-mailbox depth on every receive below
+            self.results.depth_probe = profiler.mailbox_depth
         n = len(arg_descs_per_task)
         for task_id, descs in enumerate(arg_descs_per_task):
             self._post(
                 task_id % self.n_workers, TAG_TASK,
-                (self.epoch, task_id, kid, descs),
+                (self.epoch, task_id, kid, descs, True)
+                if want
+                else (self.epoch, task_id, kid, descs),
             )
         results: list = [None] * n
+        stamps: list = [None] * n
         received = 0
         deadline = time.monotonic() + self.TIMEOUT_S
         while received < n:
@@ -605,7 +656,7 @@ class WorkerPool:
                 tag=TAG_RESULT, timeout=self.TIMEOUT_S,
                 liveness=self._check_alive,
             )
-            epoch, status, payload = msg.payload
+            epoch, status, payload = msg.payload[:3]
             if epoch != self.epoch:
                 continue  # stale result from before a reset()
             if status == "error":
@@ -618,7 +669,12 @@ class WorkerPool:
                 err.worker_exc = name
                 raise err
             results[msg.seq] = payload
+            if want and len(msg.payload) > 3 and msg.payload[3] is not None:
+                t0, t1 = msg.payload[3]
+                stamps[msg.seq] = (msg.src, t0, t1)
             received += 1
+        if want:
+            return results, stamps
         return results
 
     # ------------------------------------------------------------------ reset

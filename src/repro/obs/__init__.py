@@ -32,7 +32,14 @@ set:
   seeded reservoir sampling of message records, a ring of recent
   spans and a rotating JSONL spill, keeping observability memory
   O(p + samples) at extreme scale (docs/OBSERVABILITY.md, "Streaming
-  mode").
+  mode");
+* :mod:`repro.obs.prof` — the **wall-clock worker-plane profiler**
+  behind ``Machine(profile=True)``: dispatch latency, in-worker kernel
+  wall time, ship-cache and shm counters, per-worker utilization, the
+  ship/dispatch/kernel/idle attribution and the ``repro-profile/1``
+  snapshot (``python -m repro.eval profile``).  Wall-clock only — it
+  never touches the cost model (docs/OBSERVABILITY.md, "Wall-clock
+  profiling").
 
 Everything is opt-in through ``Machine(trace_level=...)`` and costs a
 single ``is None`` check per operation when off, so the simulated
@@ -69,12 +76,18 @@ from repro.obs.metrics import (
     global_metrics,
     isolated_metrics,
 )
+from repro.obs.prof import (
+    ATTRIBUTION_TOL,
+    PROFILE_SCHEMA,
+    WallProfiler,
+)
 from repro.obs.span import Span, SpanTracer
 from repro.obs.timeline import Interval, Timeline
 from repro.obs.export import (
     chrome_trace_events,
     flame_rollup,
     validate_chrome_trace,
+    wall_trace_events,
     write_chrome_trace,
 )
 
@@ -92,7 +105,11 @@ __all__ = [
     "chrome_trace_events",
     "flame_rollup",
     "validate_chrome_trace",
+    "wall_trace_events",
     "write_chrome_trace",
+    "ATTRIBUTION_TOL",
+    "PROFILE_SCHEMA",
+    "WallProfiler",
     "CriticalPath",
     "HappensBeforeDag",
     "PathStep",

@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "chrome_trace_events",
+    "wall_trace_events",
     "write_chrome_trace",
     "validate_chrome_trace",
     "flame_rollup",
@@ -43,6 +44,10 @@ _PID = 1
 _SPAN_TID = 0
 #: thread-id base for the derived per-rank idle-wait tracks
 _IDLE_TID_BASE = 1000
+#: dual-clock export: wall-clock tracks live in their own process row,
+#: so Perfetto shows simulated and measured time side by side without
+#: the two clock domains sharing an axis origin
+_WALL_PID = 2
 
 
 def _us(seconds: float) -> float:
@@ -148,10 +153,100 @@ def chrome_trace_events(
     return events
 
 
+def wall_trace_events(
+    profiler, label: str = "wall clock (worker plane)"
+) -> list[dict[str, Any]]:
+    """Wall-clock tracks from a :class:`~repro.obs.prof.WallProfiler`.
+
+    Everything is shifted so the earliest recorded stamp is ``ts = 0``
+    (monotonic origins are arbitrary; the validator requires
+    non-negative timestamps).  Thread 0 carries the skeleton wall
+    intervals; threads ``1..w`` carry the per-worker kernel blocks, one
+    track per worker that executed anything.
+    """
+    stamps = [sw.t0 for sw in profiler.skeleton_walls]
+    stamps += [d.t_begin for d in profiler.dispatches]
+    if not stamps:
+        return []
+    origin = min(stamps)
+
+    def ts(t: float) -> float:
+        return _us(max(0.0, t - origin))
+
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _WALL_PID,
+            "tid": 0,
+            "args": {"name": label},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _WALL_PID,
+            "tid": _SPAN_TID,
+            "args": {"name": "skeleton wall"},
+        },
+    ]
+    for sw in profiler.skeleton_walls:
+        events.append(
+            {
+                "ph": "X",
+                "name": sw.name,
+                "cat": "skeleton-wall",
+                "pid": _WALL_PID,
+                "tid": _SPAN_TID,
+                "ts": ts(sw.t0),
+                "dur": _us(sw.wall_s),
+                "args": {"depth": sw.depth},
+            }
+        )
+    workers_seen: set[int] = set()
+    for d in profiler.dispatches:
+        for b in d.blocks:
+            if b.worker not in workers_seen:
+                workers_seen.add(b.worker)
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": _WALL_PID,
+                        "tid": b.worker + 1,
+                        "args": {"name": f"worker {b.worker}"},
+                    }
+                )
+            events.append(
+                {
+                    "ph": "X",
+                    "name": f"{d.skeleton}:{d.kernel}",
+                    "cat": "kernel-wall",
+                    "pid": _WALL_PID,
+                    "tid": b.worker + 1,
+                    "ts": ts(b.start),
+                    "dur": _us(b.kernel_s),
+                    "args": {
+                        "backend": d.backend,
+                        "dispatch_latency_s": b.latency_s,
+                    },
+                }
+            )
+    return events
+
+
 def write_chrome_trace(path, machine: "Machine") -> dict[str, Any]:
-    """Write a machine's trace to *path*; returns the JSON object."""
+    """Write a machine's trace to *path*; returns the JSON object.
+
+    Dual-clock: with a wall profiler attached
+    (``Machine(profile=True)``), the wall-clock tracks are appended as a
+    second process row alongside the simulated ones.
+    """
+    events = chrome_trace_events(machine.tracer, machine.timeline)
+    profiler = getattr(machine, "profiler", None)
+    if profiler is not None:
+        events += wall_trace_events(profiler)
     obj = {
-        "traceEvents": chrome_trace_events(machine.tracer, machine.timeline),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
             "p": machine.p,

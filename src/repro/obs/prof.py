@@ -1,0 +1,401 @@
+"""Wall-clock worker-plane profiler: ``Machine(p, profile=True)``.
+
+Everything else in :mod:`repro.obs` measures *simulated* seconds — the
+analytic cost model's clocks.  The real execution backends
+(:mod:`repro.machine.backend`) additionally run kernels on actual cores,
+and this module measures *that* plane: dispatch latency, in-worker
+kernel wall time, ship-cache behaviour, shared-memory occupancy, result
+mailbox depth and per-worker utilization.
+
+Two invariants shape the design:
+
+* **Zero cost when off.**  Every instrumented hot path checks one
+  ``profiler is None`` and does nothing else; an unprofiled run
+  executes exactly the historical code.
+* **Never touch the cost model.**  The profiler owns its *own*
+  :class:`~repro.obs.metrics.MetricsRegistry` (same class, same
+  Prometheus exposition, separate instance) and only ever reads
+  ``time.monotonic()`` — simulated clocks, :class:`TraceStats`, records
+  and the machine's metrics stay bitwise identical with profiling on or
+  off, across every backend (the extended ``backend`` pillar asserts
+  this).
+
+Clock: ``time.monotonic()`` is ``CLOCK_MONOTONIC``, which on Linux is
+system-wide — stamps taken *inside worker processes* are directly
+comparable to main-process stamps.  Residual cross-process skew is
+guarded by clamping every derived duration at zero and by the
+attribution-sum tolerance (:data:`ATTRIBUTION_TOL`).
+
+Attribution partitions the **skeleton wall** (the summed wall time of
+depth-0 skeleton invocations) into four components:
+
+* ``ship``     — main-process kernel shipping + argument description
+  (mp only; measured directly);
+* ``dispatch`` — per-dispatch start lag: first in-worker block start
+  minus the post timestamp (queue + wakeup latency);
+* ``kernel``   — the union of in-worker busy intervals, clipped to each
+  dispatch window (dispatches are sequential, so windows are disjoint);
+* ``idle``     — the residual: main-process orchestration, cost
+  charging, communication skeletons (which move data in the main
+  process) and wait-side gaps.
+
+With no dispatches at all (the ``sim`` backend inlines every kernel on
+the main thread) the whole skeleton wall is the ``kernel`` component by
+definition.  ``idle`` is clamped at zero, so the components can only
+sum *above* the measured wall when stamps overlap or clocks skew —
+exactly what ``attribution_ok`` (±2 %) catches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "WallProfiler",
+    "DispatchRecord",
+    "BlockStamp",
+    "SkeletonWall",
+    "PROFILE_SCHEMA",
+    "ATTRIBUTION_TOL",
+    "SECONDS_BUCKETS",
+    "DEPTH_BUCKETS",
+]
+
+#: schema tag of :meth:`WallProfiler.snapshot` (and the ``eval profile``
+#: JSON built on top of it)
+PROFILE_SCHEMA = "repro-profile/1"
+
+#: the attribution components may miss the measured skeleton wall by at
+#: most this fraction (guards double counting and cross-process skew)
+ATTRIBUTION_TOL = 0.02
+
+#: power-of-two second buckets, ~1 µs .. ~128 s — wall durations
+SECONDS_BUCKETS = tuple(2.0 ** k for k in range(-20, 8))
+
+#: power-of-two depth buckets — mailbox queue depths
+DEPTH_BUCKETS = tuple(float(1 << k) for k in range(11))
+
+
+def kernel_name(kernel) -> str:
+    """Display name of a dispatched kernel callable."""
+    return getattr(kernel, "__name__", type(kernel).__name__)
+
+
+@dataclass
+class BlockStamp:
+    """One per-block execution: enqueue (main side) and start/end
+    (taken **inside** the worker, returned with the result)."""
+
+    worker: int
+    enqueue: float
+    start: float
+    end: float
+
+    @property
+    def kernel_s(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    @property
+    def latency_s(self) -> float:
+        return max(0.0, self.start - self.enqueue)
+
+
+@dataclass
+class DispatchRecord:
+    """One ``run_blocks`` call: a batch of per-rank kernel tasks."""
+
+    backend: str
+    kernel: str
+    skeleton: str
+    n_tasks: int
+    t_begin: float
+    t_post: float = 0.0
+    t_done: float = 0.0
+    ship_s: float = 0.0
+    blocks: list[BlockStamp] = field(default_factory=list)
+    ok: bool = True
+
+    @property
+    def window_s(self) -> float:
+        return max(0.0, self.t_done - self.t_post)
+
+
+@dataclass
+class SkeletonWall:
+    """Wall interval of one skeleton invocation (depth 0 = outermost)."""
+
+    name: str
+    depth: int
+    t0: float
+    t1: float
+
+    @property
+    def wall_s(self) -> float:
+        return max(0.0, self.t1 - self.t0)
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of ``(start, end)`` intervals."""
+    if not intervals:
+        return 0.0
+    total = 0.0
+    cur_a = cur_b = None
+    for a, b in sorted(intervals):
+        if b <= a:
+            continue
+        if cur_b is None or a > cur_b:
+            if cur_b is not None:
+                total += cur_b - cur_a
+            cur_a, cur_b = a, b
+        elif b > cur_b:
+            cur_b = b
+    if cur_b is not None:
+        total += cur_b - cur_a
+    return total
+
+
+class WallProfiler:
+    """Collects wall-clock stamps and counters from the worker plane.
+
+    Thread-safety: skeleton begin/end and dispatch begin/end happen on
+    the main thread only; :meth:`block` and :meth:`worker_slot` may be
+    called from executor threads (``list.append`` is atomic under the
+    GIL, the slot map takes a lock).  Worker *processes* never hold a
+    profiler — their stamps travel back inside result payloads.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self.clock = clock
+        #: the profiler's own registry — never the machine's, so the
+        #: machine's metrics exposition stays bitwise identical with
+        #: profiling on or off
+        self.metrics = MetricsRegistry()
+        self.skeleton_walls: list[SkeletonWall] = []
+        self.dispatches: list[DispatchRecord] = []
+        self._stack: list[tuple[str, float]] = []
+        self._lock = threading.Lock()
+        self._worker_slots: dict[int, int] = {}
+        self.t_origin = clock()
+
+    # ------------------------------------------------------------- skeletons
+    def skeleton_begin(self, name: str) -> None:
+        self._stack.append((name, self.clock()))
+
+    def skeleton_end(self) -> None:
+        if not self._stack:
+            return
+        name, t0 = self._stack.pop()
+        t1 = self.clock()
+        sw = SkeletonWall(name, len(self._stack), t0, t1)
+        self.skeleton_walls.append(sw)
+        self.metrics.observe(
+            f"wall.skeleton_s.{name}", sw.wall_s, buckets=SECONDS_BUCKETS
+        )
+
+    def current_skeleton(self) -> str:
+        return self._stack[-1][0] if self._stack else "<none>"
+
+    # ------------------------------------------------------------ dispatches
+    def dispatch_begin(
+        self, backend: str, kernel: str, n_tasks: int, ship_s: float = 0.0
+    ) -> DispatchRecord:
+        return DispatchRecord(
+            backend=backend,
+            kernel=kernel,
+            skeleton=self.current_skeleton(),
+            n_tasks=n_tasks,
+            t_begin=self.clock(),
+            ship_s=max(0.0, ship_s),
+        )
+
+    def note_post(self, d: DispatchRecord) -> None:
+        """Stamp the moment the batch is handed to the workers."""
+        d.t_post = self.clock()
+
+    def block(
+        self, d: DispatchRecord, worker: int,
+        enqueue: float, start: float, end: float,
+    ) -> None:
+        """Record one block execution (callable from executor threads)."""
+        d.blocks.append(BlockStamp(worker, enqueue, start, end))
+
+    def dispatch_end(self, d: DispatchRecord, ok: bool = True) -> None:
+        d.t_done = self.clock()
+        d.ok = ok
+        self.dispatches.append(d)
+        m = self.metrics
+        m.inc("wall.dispatch.calls")
+        m.inc("wall.dispatch.blocks", len(d.blocks))
+        skel = d.skeleton
+        for b in d.blocks:
+            m.observe(
+                f"wall.dispatch_latency_s.{skel}", b.latency_s,
+                buckets=SECONDS_BUCKETS,
+            )
+            m.observe(
+                f"wall.kernel_s.{skel}", b.kernel_s, buckets=SECONDS_BUCKETS
+            )
+        if d.ship_s:
+            m.observe(
+                f"wall.ship_s.{skel}", d.ship_s, buckets=SECONDS_BUCKETS
+            )
+
+    def worker_slot(self, ident: int) -> int:
+        """Stable small worker index for a thread ident (threads backend)."""
+        with self._lock:
+            slot = self._worker_slots.get(ident)
+            if slot is None:
+                slot = self._worker_slots[ident] = len(self._worker_slots)
+            return slot
+
+    # ------------------------------------------------- counters and gauges
+    def ship_cache_hit(self) -> None:
+        self.metrics.inc("wall.ship.cache_hits")
+
+    def ship_cache_miss(self, nbytes: int) -> None:
+        self.metrics.inc("wall.ship.cache_misses")
+        self.metrics.inc("wall.ship.serialized_bytes", nbytes)
+
+    def worker_sends(self, n_workers: int, nbytes: int) -> None:
+        """Kernel bytes actually crossing the process boundary."""
+        self.metrics.inc("wall.ship.worker_sends", n_workers)
+        self.metrics.inc("wall.ship.shipped_bytes", nbytes)
+
+    def shm_alloc(self, nbytes: int) -> None:
+        self.metrics.gauge("wall.shm.segments").inc()
+        self.metrics.gauge("wall.shm.bytes_live").inc(nbytes)
+        self.metrics.inc("wall.shm.allocated_bytes", nbytes)
+
+    def shm_free(self, nbytes: int) -> None:
+        self.metrics.gauge("wall.shm.segments").dec()
+        self.metrics.gauge("wall.shm.bytes_live").dec(nbytes)
+
+    def mailbox_depth(self, depth: int) -> None:
+        """Result-mailbox depth sample (wired as the Mailbox probe)."""
+        self.metrics.gauge("wall.mailbox.result_depth").set(depth)
+        self.metrics.observe(
+            "wall.mailbox.depth", float(depth), buckets=DEPTH_BUCKETS
+        )
+
+    # -------------------------------------------------------------- analysis
+    def skeleton_wall_s(self) -> float:
+        """Summed wall of depth-0 skeleton invocations (the measured
+        wall that :meth:`attribution` decomposes)."""
+        return sum(sw.wall_s for sw in self.skeleton_walls if sw.depth == 0)
+
+    def per_skeleton_wall(self) -> dict[str, dict]:
+        out: dict[str, dict] = {}
+        for sw in self.skeleton_walls:
+            if sw.depth != 0:
+                continue
+            agg = out.setdefault(sw.name, {"calls": 0, "wall_s": 0.0})
+            agg["calls"] += 1
+            agg["wall_s"] += sw.wall_s
+        return out
+
+    def attribution(self) -> dict[str, float]:
+        """Ship / dispatch / kernel / idle decomposition of the skeleton
+        wall (see the module docstring for exact component semantics)."""
+        measured = self.skeleton_wall_s()
+        ship = sum(d.ship_s for d in self.dispatches)
+        lag = 0.0
+        kernel = 0.0
+        for d in self.dispatches:
+            if not d.blocks:
+                continue
+            first = min(b.start for b in d.blocks)
+            lag += min(max(0.0, first - d.t_post), d.window_s)
+            clipped = [
+                (max(b.start, d.t_post), min(b.end, d.t_done))
+                for b in d.blocks
+            ]
+            kernel += _union_length(clipped)
+        if not self.dispatches:
+            # sim backend: the main thread inlines every kernel — the
+            # whole skeleton wall is kernel work by definition
+            kernel = measured
+        idle = max(0.0, measured - ship - lag - kernel)
+        return {
+            "measured_wall_s": measured,
+            "ship_s": ship,
+            "dispatch_s": lag,
+            "kernel_s": kernel,
+            "idle_s": idle,
+        }
+
+    def attribution_ok(self, attr: dict[str, float] | None = None) -> bool:
+        """Whether the components sum to the measured wall within
+        :data:`ATTRIBUTION_TOL` (idle is a clamped residual, so only
+        over-attribution — overlap or clock skew — can break this)."""
+        a = attr if attr is not None else self.attribution()
+        total = a["ship_s"] + a["dispatch_s"] + a["kernel_s"] + a["idle_s"]
+        measured = a["measured_wall_s"]
+        return abs(total - measured) <= max(ATTRIBUTION_TOL * measured, 1e-9)
+
+    def worker_stats(self) -> dict:
+        """Per-worker busy seconds, utilization over the summed dispatch
+        windows, and the max/mean busy imbalance factor."""
+        busy: dict[int, float] = {}
+        for d in self.dispatches:
+            for b in d.blocks:
+                busy[b.worker] = busy.get(b.worker, 0.0) + b.kernel_s
+        window = sum(d.window_s for d in self.dispatches)
+        workers = [
+            {
+                "worker": w,
+                "busy_s": busy[w],
+                "utilization": min(1.0, busy[w] / window) if window > 0 else 0.0,
+            }
+            for w in sorted(busy)
+        ]
+        imbalance = None
+        if busy:
+            mean = sum(busy.values()) / len(busy)
+            if mean > 0:
+                imbalance = max(busy.values()) / mean
+        return {"workers": workers, "window_s": window, "imbalance": imbalance}
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self) -> dict:
+        """The versioned ``repro-profile/1`` JSON document."""
+        attr = self.attribution()
+        stats = self.worker_stats()
+        return {
+            "schema": PROFILE_SCHEMA,
+            "clock": "monotonic",
+            "attribution": {
+                "ship_s": attr["ship_s"],
+                "dispatch_s": attr["dispatch_s"],
+                "kernel_s": attr["kernel_s"],
+                "idle_s": attr["idle_s"],
+            },
+            "measured_wall_s": attr["measured_wall_s"],
+            "attribution_sum_s": attr["ship_s"] + attr["dispatch_s"]
+            + attr["kernel_s"] + attr["idle_s"],
+            "attribution_ok": self.attribution_ok(attr),
+            "skeletons": self.per_skeleton_wall(),
+            "dispatch_calls": len(self.dispatches),
+            "dispatch_blocks": sum(len(d.blocks) for d in self.dispatches),
+            "workers": stats["workers"],
+            "imbalance": stats["imbalance"],
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def render_text(self) -> str:
+        """Prometheus exposition of the wall metrics (separate registry,
+        so it never mixes into the machine's exposition)."""
+        return self.metrics.render_text()
+
+    def clear(self) -> None:
+        """Drop every stamp and counter (``Machine.reset`` calls this)."""
+        self.metrics.clear()
+        self.skeleton_walls.clear()
+        self.dispatches.clear()
+        self._stack.clear()
+        with self._lock:
+            self._worker_slots.clear()
+        self.t_origin = self.clock()

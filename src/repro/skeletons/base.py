@@ -153,6 +153,9 @@ class SkilContext:
         global _CURRENT
         _CURRENT = self
         self.machine.stats.skeleton_calls += 1
+        prof = self.machine.profiler
+        if prof is not None:
+            prof.skeleton_begin(name)
         tracer = self.machine.tracer
         span = tracer.begin(name, category="skeleton") if tracer is not None else None
         if self.profile.skeleton_overhead:
@@ -162,6 +165,11 @@ class SkilContext:
     def end_skeleton(self, span=None) -> None:
         """Close the span opened by :meth:`begin_skeleton` (plus any
         phase spans an error path left open beneath it)."""
+        prof = self.machine.profiler
+        if prof is not None:
+            # before the tracer early-out: wall stamps are taken even at
+            # trace_level=0 (begin/end are strictly paired by callers)
+            prof.skeleton_end()
         tracer = self.machine.tracer
         if tracer is None:
             return

@@ -9,7 +9,8 @@ import pytest
 
 from repro.eval.__main__ import _build_parser, main
 
-COMMON = ["--trace", "t.json", "--metrics-out", "m.prom", "--quiet"]
+COMMON = ["--trace", "t.json", "--metrics-out", "m.prom", "--quiet",
+          "--profile", "--profile-out", "p.json"]
 
 
 class TestFlagUniformity:
@@ -23,6 +24,8 @@ class TestFlagUniformity:
         assert args.trace == "t.json"
         assert args.metrics_out == "m.prom"
         assert args.quiet is True
+        assert args.profile is True
+        assert args.profile_out == "p.json"
 
     def test_trace_keeps_json_alias(self):
         args = _build_parser().parse_args(["trace", "--json", "x.json"])

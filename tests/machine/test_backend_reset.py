@@ -105,6 +105,54 @@ def test_reset_clears_mp_ship_cache():
         m.close()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_back_to_back_trials_deterministic_profiled(backend):
+    """The reset contract holds with the wall profiler attached, and
+    reset() drops the profiler's stamps so trials never mix."""
+    m = Machine(8, backend=backend, workers=2, profile=True)
+    try:
+        view1, total1 = _trial(SkilContext(m))
+        clocks1 = m.network.clocks.copy()
+        assert m.profiler.skeleton_walls
+        m.reset()
+        assert m.profiler.skeleton_walls == []
+        assert m.profiler.dispatches == []
+        view2, total2 = _trial(SkilContext(m))
+        assert np.array_equal(view1, view2)
+        assert total1 == total2
+        assert np.array_equal(clocks1, m.network.clocks)
+        assert m.profiler.skeleton_wall_s() > 0
+    finally:
+        m.close()
+
+
+def test_stale_unstamped_result_discarded_on_profiled_machine():
+    """Epoch filtering is payload-shape agnostic: a forged old-epoch
+    result without wall stamps (the pre-profiler 3-tuple) is still
+    discarded by a profiled machine."""
+    m = Machine(4, backend="mp", workers=2, profile=True)
+    try:
+        init = skil_fn(ops=1, vectorized=lambda g, e: g[0] * 1.0)(
+            lambda i: float(i[0])
+        )
+        ctx = SkilContext(m)
+        ctx.array_create(1, (8,), (0,), (-1,), init)
+        ctx.array_create(1, (8,), (0,), (-1,), init)
+        pool = m.backend._pool
+        assert pool is not None
+        epoch_before = pool.epoch
+        m.reset()
+        from repro.machine.workers import Message
+
+        pool.results.post(
+            Message(0, "main", "result", 0, (epoch_before, "ok", np.array(-1.0)))
+        )
+        a = ctx.array_create(1, (8,), (0,), (-1,), init)
+        assert np.array_equal(a.global_view(), np.arange(8, dtype=float))
+    finally:
+        m.close()
+
+
 def test_sim_machines_unaffected_by_reset_hook():
     """The sim backend's reset is a no-op; the existing in-place reset
     contract (shared stats object) is untouched."""

@@ -1,0 +1,155 @@
+"""``MpBackend._ship_cache`` correctness: the identity-keyed cache.
+
+The cache is keyed by ``id(kernel)``, which CPython reuses as soon as
+the object dies — so every entry carries a weakref guard that must be
+checked before a cached shipment is served.  These are regression tests
+for the stale-entry hazard: id reuse after GC must never hand a new
+kernel another kernel's shipped bytes.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.machine.machine import Machine
+from repro.obs.metrics import isolated_metrics
+from repro.skeletons import SkilContext
+from repro.skeletons.functional import skil_fn
+
+
+def _make_kernel(const: float):
+    return skil_fn(
+        ops=1, vectorized=lambda g, e, _k=const: g[0] * _k
+    )(lambda i, _k=const: float(i[0] * _k))
+
+
+def test_dead_weakref_entry_is_never_served():
+    """A cache slot whose weakref no longer resolves to the asking
+    kernel (the id-reuse scenario) is replaced, not returned."""
+    m = Machine(4, backend="mp", workers=1)
+    try:
+        backend = m.backend
+        k_old = _make_kernel(2.0)
+        old_kid, old_data = backend._ship(k_old)
+
+        # forge the post-GC state: a *new* kernel whose id() collides
+        # with a dead entry holding the old kernel's bytes
+        k_new = _make_kernel(7.0)
+
+        class _Dead:
+            pass
+
+        victim = _Dead()
+        dead_ref = weakref.ref(victim)
+        del victim
+        assert dead_ref() is None
+        backend._ship_cache[id(k_new)] = (old_kid, old_data, dead_ref)
+
+        new_kid, new_data = backend._ship(k_new)
+        assert new_kid != old_kid
+        assert new_data != old_data
+        # and the poisoned slot was overwritten with a live guard
+        cached = backend._ship_cache[id(k_new)]
+        assert cached[0] == new_kid
+        assert cached[2]() is k_new
+    finally:
+        m.close()
+
+
+def test_live_entry_is_reused_for_the_same_object():
+    m = Machine(4, backend="mp", workers=1)
+    try:
+        k = _make_kernel(3.0)
+        kid1, data1 = m.backend._ship(k)
+        kid2, data2 = m.backend._ship(k)
+        assert kid1 == kid2
+        assert data1 is data2  # served from cache, not re-pickled
+    finally:
+        m.close()
+
+
+def test_distinct_kernels_get_distinct_fingerprints():
+    m = Machine(4, backend="mp", workers=1)
+    try:
+        kid_a, _ = m.backend._ship(_make_kernel(2.0))
+        kid_b, _ = m.backend._ship(_make_kernel(5.0))
+        assert kid_a != kid_b
+    finally:
+        m.close()
+
+
+def test_stale_id_reuse_cannot_corrupt_results():
+    """End to end: poison the cache under a new kernel's id and run the
+    skeleton — the guard forces a re-ship, so results stay correct."""
+    m = Machine(4, backend="mp", workers=2)
+    try:
+        ctx = SkilContext(m)
+        init_old = _make_kernel(2.0)
+        with isolated_metrics():
+            # probe + dispatch so the old kernel is genuinely shipped
+            ctx.array_create(1, (8,), (0,), (-1,), init_old)
+            ctx.array_create(1, (8,), (0,), (-1,), init_old)
+        # the skeleton layer ships a wrapped kernel, so find entries by
+        # content rather than by the skil_fn object's own id
+        assert m.backend._ship_cache
+        old_entry = next(iter(m.backend._ship_cache.values()))
+
+        init_new = _make_kernel(10.0)
+        with isolated_metrics():
+            ctx.array_create(1, (8,), (0,), (-1,), init_new)
+            ctx.array_create(1, (8,), (0,), (-1,), init_new)
+        new_keys = [
+            k for k, v in m.backend._ship_cache.items()
+            if v[0] != old_entry[0]
+        ]
+        assert new_keys  # the new kernel got its own cache slot
+
+        class _Dead:
+            pass
+
+        victim = _Dead()
+        dead = weakref.ref(victim)
+        del victim
+        # poison the new kernel's slot with the *old* kernel's bytes and
+        # a dead guard — exactly what unguarded id reuse would leave
+        for key in new_keys:
+            m.backend._ship_cache[key] = (old_entry[0], old_entry[1], dead)
+        with isolated_metrics():
+            a = ctx.array_create(1, (8,), (0,), (-1,), init_new)
+        assert np.array_equal(
+            a.global_view(), np.arange(8, dtype=float) * 10.0
+        )
+    finally:
+        m.close()
+
+
+def test_profiler_counts_hits_and_misses():
+    """Repeated dispatch of one kernel object: exactly one miss, the
+    rest hits — observable through the wall profiler's counters."""
+    m = Machine(4, backend="mp", workers=2, profile=True)
+    try:
+        ctx = SkilContext(m)
+        init = _make_kernel(1.0)
+        square = skil_fn(ops=2, vectorized=lambda b, g, e: b * b)(
+            lambda x, i: x * x
+        )
+        with isolated_metrics():
+            a = ctx.array_create(1, (16,), (0,), (-1,), init)
+            b = ctx.array_create(1, (16,), (0,), (-1,), init)
+            for _ in range(4):
+                ctx.array_map(square, a, b)
+        mm = m.profiler.metrics
+        hits = mm.counter("wall.ship.cache_hits").value
+        misses = mm.counter("wall.ship.cache_misses").value
+        # one miss per distinct kernel object that dispatched; the
+        # repeated maps of the same object must all hit
+        assert misses >= 1
+        assert hits >= 2
+        shipped = [
+            d for d in m.profiler.dispatches if d.kernel
+        ]
+        assert shipped  # dispatches really went through the mp plane
+    finally:
+        m.close()

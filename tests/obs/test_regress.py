@@ -109,6 +109,23 @@ class TestAdditions:
         assert compare_bench(perf, grown) == []
         assert snapshot_additions(perf, grown) == ["microbench/shiny-new p=128"]
 
+    def test_new_profile_overhead_section_is_informational(self):
+        base = {"schema": "repro-bench/1", "microbench": []}
+        perf = {
+            "schema": "repro-bench/1",
+            "microbench": [],
+            "profile_overhead": {
+                "name": "profile_overhead_gauss", "p": 64,
+                "off_s": 0.1, "profiled_s": 0.11, "overhead": 1.1,
+                "sim_identical": True,
+            },
+        }
+        assert compare_snapshots(base, perf) == []
+        added = snapshot_additions(base, perf)
+        assert "profile_overhead/profile_overhead_gauss p=64" in added
+        # present in both: no addition reported, still never gated
+        assert snapshot_additions(perf, perf) == []
+
     def test_scale_entries_present_in_both_are_gated(self):
         base = {
             "schema": "repro-bench/1",
