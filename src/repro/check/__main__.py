@@ -20,6 +20,7 @@ import sys
 from repro.check.backendcheck import run_backend, run_backend_raw
 from repro.check.dagcheck import run_dag, run_dag_raw
 from repro.check.diffcheck import run_diff, run_diff_raw
+from repro.check.fusioncheck import run_fusion, run_fusion_raw
 from repro.check.fuzz import run_fuzz, run_fuzz_raw
 from repro.check.netbatch import run_batch, run_batch_raw
 from repro.check.oracle import run_oracle, run_oracle_raw
@@ -37,7 +38,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "pillar",
         choices=["fuzz", "oracle", "diff", "dag", "batch", "stream", "backend",
-                 "scale", "all"],
+                 "scale", "fusion", "all"],
         nargs="?",
         default="all",
         help="which pillar to run (default: all)",
@@ -64,6 +65,14 @@ def main(argv: list[str] | None = None) -> int:
         "(--no-fused) for every context the checks build; the default "
         "keeps the process default (REPRO_FUSED)",
     )
+    ap.add_argument(
+        "--fusion",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force compiler-level skeleton fusion on (--fusion) or off "
+        "(--no-fusion) as the process default for programs the checks "
+        "compile; the fusion pillar itself always compares both sides",
+    )
     ap.add_argument("-v", "--verbose", action="store_true")
     args = ap.parse_args(argv)
 
@@ -71,10 +80,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.skeletons.fuse import set_fusion_default
 
         set_fusion_default(args.fused)
+    if args.fusion is not None:
+        from repro.skeletons.fuse import set_program_fusion_default
+
+        set_program_fusion_default(args.fusion)
 
     pillars = (
         ["fuzz", "oracle", "diff", "dag", "batch", "stream", "backend",
-         "scale"]
+         "scale", "fusion"]
         if args.pillar == "all"
         else [args.pillar]
     )
@@ -90,6 +103,7 @@ def main(argv: list[str] | None = None) -> int:
                 "stream": run_stream_raw,
                 "backend": run_backend_raw,
                 "scale": run_scale_raw,
+                "fusion": run_fusion_raw,
             }[pillar]
             res = runner(args.seed, args.budget)
         else:
@@ -102,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
                 "stream": run_stream,
                 "backend": run_backend,
                 "scale": run_scale,
+                "fusion": run_fusion,
             }[pillar]
             res = runner(
                 args.seed,

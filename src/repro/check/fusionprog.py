@@ -1,0 +1,347 @@
+"""Randomized fusable program families for the ``fusion`` pillar.
+
+Each family builds a Skil source program whose shape exercises one of
+the rewrites of :mod:`repro.lang.fusion` — skeleton chains through an
+intermediate array, element-wise front-end loops, the shortest-paths
+squaring idiom.  Constants, sizes and chain lengths are drawn from the
+trial's RNG so every trial is a different program; sizes are kept
+multiples of 64 so every distribution divides evenly at p ∈ {4,16,64}.
+
+The pillar (:mod:`repro.check.fusioncheck`) compiles each program twice
+(``fusion=False`` / ``fusion=True``) and asserts, at every p:
+
+* values are **bit-equal** (the dtype gate in the pass makes even the
+  ``double`` chains exact — no tolerance needed),
+* fused simulated seconds ≤ unfused,
+* for the skeleton-chain families, strictly fewer skeleton rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["FusionProgram", "FAMILIES", "FUSION_PS"]
+
+#: processor counts every fusion trial runs at (ISSUE: p in {4, 16, 64})
+FUSION_PS = (4, 16, 64)
+
+_MOD = 9973  #: same integer bound the fuzzer uses — no int64 overflow
+
+
+@dataclass
+class FusionProgram:
+    family: str
+    source: str
+    entry: str
+    args: tuple
+    elem: str  #: "int" | "double" | "unsigned"
+    #: the chain families must lose whole rounds; discovery may add a
+    #: collective round while removing per-element front-end messages
+    expect_fewer_rounds: bool = True
+    #: at least one rewrite must have fired (guards against the pass
+    #: silently never matching anything)
+    expect_rewrites: bool = True
+    #: the AST interpreter supports the program (it has no gen_mult)
+    interp_ok: bool = True
+
+
+def _n(rng: random.Random) -> int:
+    return 64 * rng.randint(1, 4)
+
+
+def map_map(rng: random.Random) -> FusionProgram:
+    """A cascade of k maps through fresh temps — collapses to one map."""
+    depth = rng.randint(2, 4)
+    elem = rng.choice(["int", "double"])
+    n = _n(rng)
+    lines = []
+    if elem == "int":
+        lines.append("int ramp (Index ix) { return ix[0] %% %d; }" % _MOD)
+        for i in range(depth):
+            a, b = rng.randint(1, 9), rng.randint(1, 9)
+            lines.append(
+                f"int f{i} (int v, Index ix) "
+                f"{{ return ((v * {a} + {b}) % {_MOD}); }}"
+            )
+    else:
+        lines.append("double ramp (Index ix) { return ix[0] * 0.5; }")
+        for i in range(depth):
+            a, b = rng.randint(1, 9), rng.randint(1, 9)
+            lines.append(
+                f"double f{i} (double v, Index ix) "
+                f"{{ return (v * {a}.0 + {b}.0); }}"
+            )
+    names = ", ".join(["a"] + [f"t{i}" for i in range(depth - 1)] + ["b"])
+    lines += [
+        "",
+        f"array<{elem}> entry (int n) {{",
+        f"  array<{elem}> {names};",
+        "  a = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);",
+    ]
+    for i in range(depth - 1):
+        lines.append(
+            f"  t{i} = array_create (1, {{n}}, {{0}}, {{-1}}, ramp, "
+            "DISTR_DEFAULT);"
+        )
+    lines.append("  b = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);")
+    chain = ["a"] + [f"t{i}" for i in range(depth - 1)] + ["b"]
+    for i in range(depth):
+        lines.append(f"  array_map (f{i}, {chain[i]}, {chain[i + 1]});")
+    for i in range(depth - 1):
+        lines.append(f"  array_destroy (t{i});")
+    lines += ["  array_destroy (a);", "  return b;", "}"]
+    return FusionProgram("map_map", "\n".join(lines) + "\n", "entry", (n,), elem)
+
+
+def zip_mix(rng: random.Random) -> FusionProgram:
+    """map feeding a zip operand, then the zip feeding a map."""
+    elem = rng.choice(["int", "double"])
+    n = _n(rng)
+    a, b, c = (rng.randint(1, 9) for _ in range(3))
+    slot_first = rng.random() < 0.5
+    if elem == "int":
+        hdr = [
+            "int ramp (Index ix) { return ix[0] %% %d; }" % _MOD,
+            "int r2 (Index ix) { return ((ix[0] * 3 + 1) %% %d); }" % _MOD,
+            f"int m1 (int v, Index ix) {{ return ((v * {a} + 1) % {_MOD}); }}",
+            f"int zk (int x, int y, Index ix) "
+            f"{{ return ((x * {b} + y) % {_MOD}); }}",
+            f"int m2 (int v, Index ix) {{ return ((v + {c}) % {_MOD}); }}",
+        ]
+    else:
+        hdr = [
+            "double ramp (Index ix) { return ix[0] * 0.5; }",
+            "double r2 (Index ix) { return ix[0] * 0.25 + 2.0; }",
+            f"double m1 (double v, Index ix) {{ return (v * {a}.0 + 1.0); }}",
+            f"double zk (double x, double y, Index ix) "
+            f"{{ return (x * {b}.0 + y); }}",
+            f"double m2 (double v, Index ix) {{ return (v + {c}.0); }}",
+        ]
+    zip_args = "t, b2" if slot_first else "b2, t"
+    lines = hdr + [
+        "",
+        f"array<{elem}> entry (int n) {{",
+        f"  array<{elem}> a, b2, t, z, out;",
+        "  a = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);",
+        "  b2 = array_create (1, {n}, {0}, {-1}, r2, DISTR_DEFAULT);",
+        "  t = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);",
+        "  z = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);",
+        "  out = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);",
+        "  array_map (m1, a, t);",
+        f"  array_zip (zk, {zip_args}, z);",
+        "  array_destroy (t);",
+        "  array_map (m2, z, out);",
+        "  array_destroy (z);",
+        "  array_destroy (a);",
+        "  array_destroy (b2);",
+        "  return out;",
+        "}",
+    ]
+    return FusionProgram("zip_mix", "\n".join(lines) + "\n", "entry", (n,), elem)
+
+
+def map_fold(rng: random.Random) -> FusionProgram:
+    """A map whose only consumer is an ``array_fold`` conversion."""
+    elem = rng.choice(["int", "double"])
+    n = _n(rng)
+    a, b = rng.randint(1, 9), rng.randint(1, 9)
+    comb = rng.choice(["(+)", "min", "max"])
+    if elem == "int":
+        hdr = [
+            "int ramp (Index ix) { return ((ix[0] * 7 + 3) %% %d); }" % _MOD,
+            f"int mk (int v, Index ix) {{ return ((v * {a} + 1) % {_MOD}); }}",
+            f"int cv (int v, Index ix) {{ return ((v + {b}) % {_MOD}); }}",
+        ]
+    else:
+        # (+) over double reassociates across p; min/max stay bit-exact
+        comb = rng.choice(["min", "max"])
+        hdr = [
+            "double ramp (Index ix) { return ix[0] * 0.5 + 1.0; }",
+            f"double mk (double v, Index ix) {{ return (v * {a}.0 + 1.0); }}",
+            f"double cv (double v, Index ix) {{ return (v + {b}.0); }}",
+        ]
+    lines = hdr + [
+        "",
+        f"{elem} entry (int n) {{",
+        f"  array<{elem}> a, t;",
+        f"  {elem} s;",
+        "  a = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);",
+        "  t = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);",
+        "  array_map (mk, a, t);",
+        f"  s = array_fold (cv, {comb}, t);",
+        "  array_destroy (t);",
+        "  array_destroy (a);",
+        "  return s;",
+        "}",
+    ]
+    return FusionProgram("map_fold", "\n".join(lines) + "\n", "entry", (n,), elem)
+
+
+def create_map(rng: random.Random) -> FusionProgram:
+    """An array created only to be mapped away — never allocated fused."""
+    elem = rng.choice(["int", "double"])
+    n = _n(rng)
+    a = rng.randint(1, 9)
+    if elem == "int":
+        hdr = [
+            "int gen (Index ix) { return ((ix[0] * 5 + 2) %% %d); }" % _MOD,
+            "int zero (Index ix) { return 0; }",
+            f"int mk (int v, Index ix) {{ return ((v * {a} + 1) % {_MOD}); }}",
+        ]
+    else:
+        hdr = [
+            "double gen (Index ix) { return ix[0] * 0.75 + 2.0; }",
+            "double zero (Index ix) { return 0.0; }",
+            f"double mk (double v, Index ix) {{ return (v * {a}.0 + 1.0); }}",
+        ]
+    lines = hdr + [
+        "",
+        f"array<{elem}> entry (int n) {{",
+        f"  array<{elem}> t, out;",
+        "  t = array_create (1, {n}, {0}, {-1}, gen, DISTR_DEFAULT);",
+        "  out = array_create (1, {n}, {0}, {-1}, zero, DISTR_DEFAULT);",
+        "  array_map (mk, t, out);",
+        "  array_destroy (t);",
+        "  return out;",
+        "}",
+    ]
+    return FusionProgram(
+        "create_map", "\n".join(lines) + "\n", "entry", (n,), elem
+    )
+
+
+def discover_map(rng: random.Random) -> FusionProgram:
+    """An element-wise front-end loop the pass rewrites to map/zip."""
+    elem = rng.choice(["int", "double"])
+    n = _n(rng)
+    a, b = rng.randint(1, 9), rng.randint(1, 9)
+    two_src = rng.random() < 0.5
+    if elem == "int":
+        hdr = [
+            "int ramp (Index ix) { return ((ix[0] * 7 + 1) %% %d); }" % _MOD,
+            "int r2 (Index ix) { return ((ix[0] * 3 + 2) %% %d); }" % _MOD,
+        ]
+        expr = (
+            f"((array_get_elem (a, {{i}}) * {a} "
+            f"+ array_get_elem (b2, {{i}}) + {b}) % {_MOD})"
+            if two_src
+            else f"((array_get_elem (a, {{i}}) * {a} + i + {b}) % {_MOD})"
+        )
+    else:
+        hdr = [
+            "double ramp (Index ix) { return ix[0] * 0.5; }",
+            "double r2 (Index ix) { return ix[0] * 0.25 + 1.0; }",
+        ]
+        expr = (
+            f"(array_get_elem (a, {{i}}) * {a}.0 "
+            f"+ array_get_elem (b2, {{i}}) + {b}.0)"
+            if two_src
+            else f"(array_get_elem (a, {{i}}) * {a}.0 + {b}.0)"
+        )
+    decls = "a, b2, out" if two_src else "a, out"
+    lines = hdr + [
+        "",
+        f"array<{elem}> entry (int n) {{",
+        f"  array<{elem}> {decls};",
+        "  a = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);",
+    ]
+    if two_src:
+        lines.append(
+            "  b2 = array_create (1, {n}, {0}, {-1}, r2, DISTR_DEFAULT);"
+        )
+    lines += [
+        "  out = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);",
+        "  for (i = 0; i < n; i++) {",
+        f"    array_put_elem (out, {{i}}, {expr});",
+        "  }",
+        "  array_destroy (a);",
+    ]
+    if two_src:
+        lines.append("  array_destroy (b2);")
+    lines += ["  return out;", "}"]
+    return FusionProgram(
+        "discover_map",
+        "\n".join(lines) + "\n",
+        "entry",
+        (n,),
+        elem,
+        expect_fewer_rounds=False,
+    )
+
+
+def discover_fold(rng: random.Random) -> FusionProgram:
+    """A front-end reduction loop rewritten to ``array_fold``."""
+    # the collective fold pays O(log p) latency where the front-end loop
+    # pays O(n/p) messages — n/p must be large enough at p=64 to win
+    n = 1024 * rng.randint(2, 4)
+    a, b = rng.randint(1, 9), rng.randint(1, 9)
+    form = rng.choice(["+=", "min", "max"])
+    hdr = ["int ramp (Index ix) { return ((ix[0] * 7 + 1) %% %d); }" % _MOD]
+    rhs = f"((array_get_elem (a, {{i}}) * {a} + {b}) % {_MOD})"
+    if form == "+=":
+        stmt = f"s += {rhs};"
+    else:
+        stmt = f"s = {form} (s, {rhs});"
+    lines = hdr + [
+        "",
+        "int entry (int n) {",
+        "  array<int> a;",
+        "  int s;",
+        "  a = array_create (1, {n}, {0}, {-1}, ramp, DISTR_DEFAULT);",
+        "  s = 0;" if form != "min" else f"  s = {_MOD};",
+        "  for (i = 0; i < n; i++) {",
+        f"    {stmt}",
+        "  }",
+        "  array_destroy (a);",
+        "  return s;",
+        "}",
+    ]
+    return FusionProgram(
+        "discover_fold",
+        "\n".join(lines) + "\n",
+        "entry",
+        (n,),
+        "int",
+        expect_fewer_rounds=False,
+    )
+
+
+def square(rng: random.Random) -> FusionProgram:
+    """The §4.1 shortest-paths squaring idiom (copy + gen_mult)."""
+    n = 16  # 16x16 divides the 2x2 / 4x4 / 8x8 torus meshes evenly
+    w = rng.randint(2, 9)
+    src = f"""
+unsigned init_f (Index ix) {{ return ((ix[0] * 7 + ix[1] * 3) % {w}) + 1; }}
+unsigned zero (Index ix) {{ return 0; }}
+unsigned int_max (Index ix) {{ return UINT_MAX; }}
+
+array<unsigned> entry (int n) {{
+  array<unsigned> a, b, c;
+  a = array_create (2, {{n,n}}, {{0,0}}, {{-1,-1}}, init_f, DISTR_TORUS2D);
+  b = array_create (2, {{n,n}}, {{0,0}}, {{-1,-1}}, zero, DISTR_TORUS2D);
+  c = array_create (2, {{n,n}}, {{0,0}}, {{-1,-1}}, int_max, DISTR_TORUS2D);
+  for (i = 0 ; i < log2 (n) ; i++) {{
+    array_copy (a, b) ;
+    array_gen_mult (a, b, min, (+), c) ;
+    array_copy (c, a) ;
+  }}
+  array_destroy (b) ;
+  array_destroy (c) ;
+  return a ;
+}}
+"""
+    return FusionProgram(
+        "square", src, "entry", (n,), "unsigned", interp_ok=False
+    )
+
+
+FAMILIES = [
+    map_map,
+    zip_mix,
+    map_fold,
+    create_map,
+    discover_map,
+    discover_fold,
+    square,
+]

@@ -10,7 +10,13 @@ skeleton calls) and checks two properties:
 2. **instantiation preserves meaning** — the compiled program (parse →
    typecheck → instantiate → codegen → exec on a simulated machine)
    computes the same result as the direct AST interpreter
-   (:mod:`repro.check.interp`), for several processor counts.
+   (:mod:`repro.check.interp`), for several processor counts;
+3. **skeleton fusion preserves meaning** — compiling the same source
+   with the discovery & fusion pass forced on yields results equal to
+   the pass forced off at every processor count (exact equality: the
+   pass never reassociates, so even ``double`` chains stay bit-equal).
+   A dedicated ``chain`` op (map through a fresh temporary that is
+   destroyed right after) guarantees fusable shapes appear often.
 
 Value discipline keeps the comparison exact where it must be: integer
 kernels bound their results with a final ``% 9973`` so nothing ever
@@ -53,7 +59,7 @@ class KernelSpec:
 
 @dataclass
 class OpSpec:
-    kind: str  #: "map" | "zip" | "copy" | "scan" | "fold" | "destroy"
+    kind: str  #: "map" | "zip" | "copy" | "scan" | "fold" | "chain" | "destroy"
     args: tuple = ()
 
 
@@ -193,8 +199,9 @@ def generate_spec(seed: int) -> ProgramSpec:
     combiners = ["(+)", "min", "max"] if elem == "int" else ["(+)", "min", "max"]
 
     n_ops = rng.randint(2, 6)
+    n_chains = 0
     for _ in range(n_ops):
-        kind = rng.choice(["map", "map", "zip", "copy", "scan"])
+        kind = rng.choice(["map", "map", "zip", "copy", "scan", "chain"])
         if kind == "zip" and not zips:
             kind = "map"
         if kind == "scan" and dim != 1:
@@ -230,6 +237,20 @@ def generate_spec(seed: int) -> ProgramSpec:
                 continue
             src, dst = rng.sample(arrays, 2)
             spec.ops.append(OpSpec("scan", (rng.choice(combiners), src, dst)))
+        elif kind == "chain":
+            # two maps through a fresh temporary that is destroyed right
+            # after: the exact shape the fusion pass collapses to one map
+            k1, k2 = rng.choice(maps), rng.choice(maps)
+            l1 = tuple(_lit(rng) for _ in range(k1.n_lifted))
+            l2 = tuple(_lit(rng) for _ in range(k2.n_lifted))
+            spec.ops.append(
+                OpSpec(
+                    "chain",
+                    (k1.name, l1, k2.name, l2,
+                     rng.choice(arrays), rng.choice(arrays), n_chains),
+                )
+            )
+            n_chains += 1
 
     n_folds = rng.randint(1, 3)
     for i in range(n_folds):
@@ -265,6 +286,8 @@ def _used_arrays(spec: ProgramSpec) -> set[int]:
             used.update(op.args[1:3])
         elif op.kind == "fold":
             used.add(op.args[3])
+        elif op.kind == "chain":
+            used.update(op.args[4:6])
     if spec.return_array:
         used.add(0)
     if not used:
@@ -279,6 +302,9 @@ def _used_kernels(spec: ProgramSpec) -> set[str]:
             used.add(op.args[0])
         elif op.kind == "fold":
             used.add(op.args[1])
+        elif op.kind == "chain":
+            used.add(op.args[0])
+            used.add(op.args[2])
     for i in _used_arrays(spec):
         used.add(f"init{i}")
     return used
@@ -319,7 +345,10 @@ def render(spec: ProgramSpec) -> str:
     ret_t = f"array<{elem}>" if spec.return_array else elem
     lines.append(f"{ret_t} entry () {{")
     used_a = sorted(_used_arrays(spec))
-    names = ", ".join(f"a{i}" for i in used_a)
+    chain_ids = [op.args[6] for op in spec.ops if op.kind == "chain"]
+    names = ", ".join(
+        [f"a{i}" for i in used_a] + [f"c{i}" for i in chain_ids]
+    )
     lines.append(f"  array<{elem}> {names};")
     for v in fold_vars:
         lines.append(f"  {elem} {v};")
@@ -355,6 +384,17 @@ def render(spec: ProgramSpec) -> str:
         elif op.kind == "fold":
             i, conv, comb, arr = op.args
             lines.append(f"  f{i} = array_fold ({conv}, {comb}, a{arr});")
+        elif op.kind == "chain":
+            k1, l1, k2, l2, src, dst, cid = op.args
+            f1 = f"{k1} ({', '.join(l1)})" if l1 else k1
+            f2 = f"{k2} ({', '.join(l2)})" if l2 else k2
+            lines.append(
+                f"  c{cid} = array_create ({spec.dim}, {size}, {zeros}, "
+                f"{negs}, init{src}, {spec.distr});"
+            )
+            lines.append(f"  array_map ({f1}, a{src}, c{cid});")
+            lines.append(f"  array_map ({f2}, c{cid}, a{dst});")
+            lines.append(f"  array_destroy (c{cid});")
 
     if spec.return_array:
         for i in used_a[1:]:
@@ -442,6 +482,37 @@ def _check_source(src: str, elem: str, ps: tuple[int, ...]) -> str | None:
         msg = _compare(expected, actual, elem)
         if msg is not None:
             return f"p={p}: {msg}"
+
+    # 3. the skeleton discovery & fusion pass preserves meaning exactly
+    # (no tolerance: fusion composes kernels without reassociating)
+    mod_u = compile_skil(src, fusion=False)
+    mod_f = compile_skil(src, fusion=True)
+    for p in ps:
+        out_u = mod_u.run("entry", ctx=SkilContext(Machine(p)))
+        out_f = mod_f.run("entry", ctx=SkilContext(Machine(p)))
+        v_u = (
+            np.asarray(out_u.global_view())
+            if hasattr(out_u, "global_view")
+            else out_u
+        )
+        v_f = (
+            np.asarray(out_f.global_view())
+            if hasattr(out_f, "global_view")
+            else out_f
+        )
+        if isinstance(v_u, np.ndarray):
+            ok = (
+                isinstance(v_f, np.ndarray)
+                and v_u.shape == v_f.shape
+                and np.array_equal(v_u, v_f)
+            )
+        else:
+            ok = np.asarray(v_u).item() == np.asarray(v_f).item()
+        if not ok:
+            return (
+                f"p={p}: fused program disagrees with unfused\n"
+                f"unfused: {v_u!r}\nfused:   {v_f!r}"
+            )
     return None
 
 

@@ -399,6 +399,17 @@ class Interp:
         dst.data[...] = src.data
         return None
 
+    def _bi_array_get_elem(self, args, call):
+        a, ix = args
+        self._check_alive(a)
+        return a.data[tuple(int(i) for i in ix)].item()
+
+    def _bi_array_put_elem(self, args, call):
+        a, ix, value = args
+        self._check_alive(a)
+        a.data[tuple(int(i) for i in ix)] = value
+        return None
+
     @staticmethod
     def _check_alive(*arrays) -> None:
         for a in arrays:
@@ -438,6 +449,8 @@ class Interp:
         "array_fold": _bi_array_fold,
         "array_scan": _bi_array_scan,
         "array_copy": _bi_array_copy,
+        "array_get_elem": _bi_array_get_elem,
+        "array_put_elem": _bi_array_put_elem,
         "log2": _bi_log2,
         "sqrt": _bi_sqrt,
         "abs": _bi_abs,

@@ -122,7 +122,27 @@ def trial_array_create(rng: random.Random) -> str | None:
     arr.destroy()
     if arr.alive:
         return "array_destroy left the array alive"
-    return out
+    if out is not None:
+        return out
+    # the fusion pass's uninitialised variant: same shape and layout,
+    # zero skeleton rounds charged; values defined after a full overwrite
+    rounds_before = ctx.machine.stats.skeleton_calls
+    uninit = ctx.array_create_uninit(
+        dim, shape, (0,) * dim, (-1,) * dim, distr, dtype=np.int64
+    )
+    if ctx.machine.stats.skeleton_calls != rounds_before:
+        return "array_create_uninit charged a skeleton round"
+    if uninit.global_view().shape != shape:
+        return (
+            f"array_create_uninit[{distr}]: shape "
+            f"{uninit.global_view().shape}, expected {shape}"
+        )
+    src = ctx.array_create(dim, shape, (0,) * dim, (-1,) * dim, init_f,
+                           distr, dtype=np.int64)
+    ctx.array_copy(src, uninit)
+    return _mismatch(
+        f"array_create_uninit[{distr}]", expected, uninit.global_view()
+    )
 
 
 def trial_array_map(rng: random.Random) -> str | None:
@@ -343,6 +363,68 @@ def trial_array_gen_mult(rng: random.Random) -> str | None:
     return _mismatch("array_gen_mult: b changed", db, b.global_view())
 
 
+def trial_array_gen_mult_square(rng: random.Random) -> str | None:
+    """The fusion target for ``copy(a, b); gen_mult(a, b, ...)``.
+
+    Checked two ways: against the sequential reference, and against the
+    two-skeleton idiom it replaces (bit-equal, strictly fewer rounds).
+    """
+    p = rng.choice([1, 4])
+    ctx = _ctx(p, rng)
+    g = int(round(p ** 0.5))
+    n = g * rng.randint(2, 4)
+    da = _randint(rng, (n, n)) % 10
+    semiring = rng.random() < 0.5
+    if semiring:
+        dc = np.full((n, n), 10**6, dtype=np.int64)
+        add, mul = MIN, PLUS
+        expected = dc.copy()
+        for i in range(n):
+            for j in range(n):
+                expected[i, j] = min(
+                    int(dc[i, j]),
+                    int(np.min(da[i, :] + da[:, j])),
+                )
+    else:
+        dc = _randint(rng, (n, n))
+        add, mul = PLUS, TIMES
+        expected = dc + da @ da
+    tag = "min-plus" if semiring else "plus-times"
+
+    a = _block(ctx, da, DISTR_TORUS2D)
+    c = _block(ctx, dc, DISTR_TORUS2D)
+    rounds0 = ctx.machine.stats.skeleton_calls
+    ctx.array_gen_mult_square(a, add, mul, c)
+    rounds_square = ctx.machine.stats.skeleton_calls - rounds0
+    out = _mismatch(f"array_gen_mult_square[{tag},p={p}]", expected,
+                    c.global_view())
+    if out is not None:
+        return out
+    out = _mismatch("array_gen_mult_square: a changed", da, a.global_view())
+    if out is not None:
+        return out
+
+    # the unfused pair must agree and cost strictly more rounds
+    ctx2 = _ctx(p, rng)
+    a2 = _block(ctx2, da, DISTR_TORUS2D)
+    b2 = _block(ctx2, np.zeros((n, n), np.int64), DISTR_TORUS2D)
+    c2 = _block(ctx2, dc, DISTR_TORUS2D)
+    rounds0 = ctx2.machine.stats.skeleton_calls
+    ctx2.array_copy(a2, b2)
+    ctx2.array_gen_mult(a2, b2, add, mul, c2)
+    rounds_pair = ctx2.machine.stats.skeleton_calls - rounds0
+    out = _mismatch(f"array_gen_mult_square vs copy+gen_mult[{tag}]",
+                    c2.global_view(), c.global_view())
+    if out is not None:
+        return out
+    if not rounds_square < rounds_pair:
+        return (
+            f"array_gen_mult_square[{tag},p={p}]: expected fewer rounds "
+            f"than copy+gen_mult, got {rounds_square} vs {rounds_pair}"
+        )
+    return None
+
+
 def trial_array_map_overlap(rng: random.Random) -> str | None:
     p = rng.choice([1, 2, 3])
     ctx = _ctx(p, rng)
@@ -432,6 +514,7 @@ ORACLE_TRIALS = {
     "array_broadcast_part": trial_array_broadcast_part,
     "array_permute_rows": trial_array_permute_rows,
     "array_gen_mult": trial_array_gen_mult,
+    "array_gen_mult_square": trial_array_gen_mult_square,
     "array_map_overlap": trial_array_map_overlap,
     "divide_and_conquer": trial_divide_and_conquer,
     "farm": trial_farm,

@@ -26,7 +26,9 @@ matrices proportionally.
 
 Every subcommand accepts the shared observability flags ``--trace``,
 ``--metrics-out``, ``--quiet``, ``--backend``, ``--workers``,
+``--fusion``/``--no-fusion``, ``--fused``/``--no-fused``,
 ``--profile`` and ``--profile-out`` (see :mod:`repro.eval.cliopts`);
+``--fusion --no-fused`` is rejected as contradictory (exit 2).
 ``trace`` keeps ``--json`` as a back-compatible alias of ``--trace``.
 ``--backend threads|mp`` runs the skeleton kernels on real cores —
 every artefact stays bit-identical because simulated time is charged
@@ -42,10 +44,12 @@ import sys
 from repro.errors import UsageError
 from repro.eval.cliopts import (
     apply_backend,
+    apply_fusion,
     obs_parent,
     representative_obs_run,
     require_positive,
     run_target_parent,
+    validate_fusion_flags,
     validate_profile_flags,
     write_obs_artifacts,
 )
@@ -199,7 +203,9 @@ def _main(argv: list[str]) -> int:
         # legal here and doubles as --json-out
         args.profile = True
     validate_profile_flags(args)
+    validate_fusion_flags(args)
     apply_backend(args.backend, args.workers)
+    apply_fusion(args.fusion, args.fused)
 
     if args.what == "trace":
         from repro.eval.tracecmd import run_trace_command

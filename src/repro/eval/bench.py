@@ -38,6 +38,20 @@ section of the report.  Simulated seconds must stay bit-identical
 (the backends never touch the cost model); on a host with ≥ 2 cores
 the ``threads`` ``map`` ``p=16`` micro is additionally gated at
 :data:`THREADS_MAP_SPEEDUP_FLOOR` × over sim.
+
+The ``fusion`` section pairs each workload with *compiler-level*
+skeleton fusion off vs on (:mod:`repro.lang.fusion`).  These pairs are
+deliberately **not** sim-identical — eliminating whole skeleton rounds
+is the point — so the gates are: values bit-equal, fused simulated
+seconds ≤ unfused, and the ``map_map`` micro keeps a
+≥ :data:`FUSION_ROUNDS_FLOOR` × round reduction.
+
+``--section NAME`` reruns exactly one section (``microbench``,
+``end_to_end``, ``scale``, ``obs_overhead``, ``profile_overhead``,
+``fusion`` or ``backend``) and merges it into the ``--out`` report,
+leaving the other sections of an existing file untouched —
+``repro.obs.regress`` treats sections absent from a baseline as
+informational, so a merged report stays comparable.
 """
 
 from __future__ import annotations
@@ -109,6 +123,39 @@ THREADS_MAP_SPEEDUP_FLOOR = 1.5
 #: ``monotonic()`` stamps per block plus O(1) bookkeeping per dispatch,
 #: so 1.25x is generous; blowing it means a hot-path regression.
 PROFILE_OVERHEAD_LIMIT = 1.25
+
+#: CI floor on the skeleton-round ratio of the fused map∘map micro:
+#: compiler-level fusion must eliminate at least 1.3x of the unfused
+#: program's rounds (the guaranteed collapse is 7 -> 4: one map pair,
+#: the temp's create and its destroy all disappear)
+FUSION_ROUNDS_FLOOR = 1.3
+
+#: the sections a ``--section`` run may regenerate in isolation
+BENCH_SECTION_NAMES = (
+    "microbench", "end_to_end", "scale", "obs_overhead",
+    "profile_overhead", "fusion", "backend",
+)
+
+#: the fused map∘map micro: two maps through a temporary that dies
+#: right after — the compiler pass collapses the pair to one map,
+#: deletes the temp's create/destroy, and elides the dead inits
+_FUSION_MAPMAP_SRC = """\
+int ramp (Index ix) { return ix[0] %% 9973; }
+int step1 (int v, Index ix) { return ((v * 3 + 1) %% 9973); }
+int step2 (int v, Index ix) { return ((v * 5 + 2) %% 9973); }
+
+array<int> entry () {
+  array<int> a, t, b;
+  a = array_create (1, {%d}, {0}, {-1}, ramp, DISTR_DEFAULT);
+  t = array_create (1, {%d}, {0}, {-1}, ramp, DISTR_DEFAULT);
+  b = array_create (1, {%d}, {0}, {-1}, ramp, DISTR_DEFAULT);
+  array_map (step1, a, t);
+  array_map (step2, t, b);
+  array_destroy (t);
+  array_destroy (a);
+  return b;
+}
+"""
 
 
 def _set_fusion(enabled: bool) -> bool:
@@ -612,6 +659,109 @@ def run_backend_bench(
 
 
 # ---------------------------------------------------------------------------
+# compiler-level skeleton fusion — fewer rounds, bit-equal values
+# ---------------------------------------------------------------------------
+def run_fusion_bench(quick: bool, repeat: int | None, seed: int) -> list[dict]:
+    """Pair each workload with compiler-level fusion off vs on.
+
+    Unlike :func:`_run_pair` this does **not** assert sim-identity —
+    eliminating whole skeleton rounds is the point, so fused simulated
+    seconds must be *at most* the unfused ones while the computed
+    values stay bit-equal.  The ``map_map`` micro is additionally gated
+    (by ``main``) at :data:`FUSION_ROUNDS_FLOOR` x fewer rounds.
+    """
+    from repro.lang.compiler import compile_skil
+    from repro.machine.machine import Machine
+    from repro.skeletons import SkilContext
+
+    if repeat is None:
+        repeat = 3 if quick else 5
+    n = 256 if quick else 2048
+    entries: list[dict] = []
+
+    src = _FUSION_MAPMAP_SRC % (n, n, n)
+    mod_u = compile_skil(src, fusion=False)
+    mod_f = compile_skil(src, fusion=True)
+    for p in MICRO_PS:
+        def run_mod(mod=mod_u):
+            with Machine(p) as m:
+                out = mod.run("entry", ctx=SkilContext(m))
+                return np.array(out.global_view()), m.stats.skeleton_calls, m.time
+
+        unfused_s, _ = _time_best(lambda: run_mod(mod_u)[2], repeat)
+        fused_s, _ = _time_best(lambda: run_mod(mod_f)[2], repeat)
+        v_u, rounds_u, sim_u = run_mod(mod_u)
+        v_f, rounds_f, sim_f = run_mod(mod_f)
+        entry = {
+            "name": "map_map",
+            "p": p,
+            "n": n,
+            "rounds_unfused": rounds_u,
+            "rounds_fused": rounds_f,
+            "rounds_ratio": round(rounds_u / rounds_f, 3) if rounds_f else None,
+            "sim_unfused": sim_u,
+            "sim_fused": sim_f,
+            "sim_seconds": sim_f,
+            "unfused_s": round(unfused_s, 6),
+            "fused_s": round(fused_s, 6),
+            "values_equal": bool(np.array_equal(v_u, v_f)),
+        }
+        entries.append(entry)
+        print(
+            f"fusio map_map p={p:<3d} rounds {rounds_u}->{rounds_f} "
+            f"({entry['rounds_ratio']}x)  sim {sim_u:.6f}->{sim_f:.6f}s  "
+            f"values-equal={entry['values_equal']}"
+        )
+
+    # the Table 1/2 drivers, mirrored through ctx.fusion
+    from repro.apps.gauss import gauss_full
+    from repro.apps.shortest_paths import (
+        random_distance_matrix,
+        round_up_to_grid,
+        shpaths,
+    )
+
+    p = 16
+    def _driver(name, fn):
+        runs = {}
+        for fusion in (False, True):
+            with Machine(p) as m:
+                value, rep = fn(SkilContext(m, fusion=fusion))
+                runs[fusion] = (np.asarray(value), m.stats.skeleton_calls,
+                                rep.seconds)
+        v_u, rounds_u, sim_u = runs[False]
+        v_f, rounds_f, sim_f = runs[True]
+        entry = {
+            "name": name,
+            "p": p,
+            "rounds_unfused": rounds_u,
+            "rounds_fused": rounds_f,
+            "rounds_ratio": round(rounds_u / rounds_f, 3) if rounds_f else None,
+            "sim_unfused": sim_u,
+            "sim_fused": sim_f,
+            "sim_seconds": sim_f,
+            "values_equal": bool(np.array_equal(v_u, v_f)),
+        }
+        entries.append(entry)
+        print(
+            f"fusio {name:13s} p={p} rounds {rounds_u}->{rounds_f}  "
+            f"sim {sim_u:.4f}->{sim_f:.4f}s  "
+            f"values-equal={entry['values_equal']}"
+        )
+
+    shp_n = round_up_to_grid(32 if quick else 64, 4)
+    dist = random_distance_matrix(shp_n, density=0.25, seed=seed)
+    _driver("table1_shpaths", lambda ctx: shpaths(ctx, dist))
+
+    g_n = 32 if quick else 64
+    rng = np.random.default_rng(seed)
+    a_mat = rng.standard_normal((g_n, g_n)) + g_n * np.eye(g_n)
+    rhs = rng.standard_normal(g_n)
+    _driver("table2_gauss", lambda ctx: gauss_full(ctx, a_mat, rhs))
+    return entries
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 def _run_pair(
@@ -640,6 +790,92 @@ def _run_pair(
     return entry
 
 
+def _default_repeat(quick: bool, repeat: int | None) -> int:
+    # best-of needs headroom: the micros run low-millisecond kernels
+    # where scheduler noise easily doubles a single measurement
+    return repeat if repeat is not None else (3 if quick else 7)
+
+
+def run_micro_section(quick: bool, repeat: int | None, seed: int) -> list[dict]:
+    """The fused-vs-per-rank microbenchmarks over :data:`MICRO_PS`."""
+    available = _fusion_available()
+    repeat = _default_repeat(quick, repeat)
+    n, m = (128, 64) if quick else (512, 192)
+    iters = 3 if quick else 5
+    entries: list[dict] = []
+    for name, fn in MICROBENCHES.items():
+        for p in MICRO_PS:
+            entry = _run_pair(
+                lambda fn=fn, p=p: fn(p, n, m, iters, seed), repeat, available
+            )
+            entry.update({"name": name, "p": p, "n": n, "m": m, "iters": iters})
+            entries.append(entry)
+            print(
+                f"micro {name:7s} p={p:<3d} fused {entry['fused_s']:.4f}s  "
+                f"per-rank {entry['unfused_s']:.4f}s  "
+                f"speedup {entry['speedup']}x  "
+                f"sim-identical={entry['sim_identical']}"
+            )
+    return entries
+
+
+def run_e2e_section(
+    quick: bool,
+    repeat: int | None,
+    seed: int,
+    eval_all_scale: float | None = None,
+) -> list[dict]:
+    """The end-to-end fused-vs-per-rank driver timings."""
+    available = _fusion_available()
+    repeat = _default_repeat(quick, repeat)
+    entries: list[dict] = []
+    shp_n, gauss_n = (32, 32) if quick else (128, 128)
+    for name, fn in (
+        ("table1_shpaths", lambda: _e2e_shpaths(16, shp_n, seed)),
+        ("table2_gauss", lambda: _e2e_gauss(16, gauss_n, seed)),
+    ):
+        entry = _run_pair(lambda fn=fn: fn, max(1, repeat - 1), available)
+        entry.update({"name": name, "p": 16, "n": shp_n if "shpaths" in name else gauss_n})
+        entries.append(entry)
+        print(
+            f"e2e   {name:15s} fused {entry['fused_s']:.3f}s  "
+            f"per-rank {entry['unfused_s']:.3f}s  "
+            f"speedup {entry['speedup']}x  "
+            f"sim-identical={entry['sim_identical']}"
+        )
+    if eval_all_scale is not None:
+        entry = _run_pair(
+            lambda: lambda: _e2e_eval_all(eval_all_scale), 1, available
+        )
+        entry.update({"name": "eval_all", "scale": eval_all_scale})
+        entries.append(entry)
+        print(
+            f"e2e   eval_all scale={eval_all_scale} "
+            f"fused {entry['fused_s']:.2f}s  "
+            f"per-rank {entry['unfused_s']:.2f}s  "
+            f"speedup {entry['speedup']}x  "
+            f"sim-identical={entry['sim_identical']}"
+        )
+    return entries
+
+
+def _print_obs(obs: dict) -> None:
+    print(
+        f"obs   {obs['name']:15s} off {obs['off_s']:.4f}s  "
+        f"record {obs['record_overhead']}x  stream {obs['stream_overhead']}x  "
+        f"sim-identical={obs['sim_identical']}"
+    )
+
+
+def _print_profile(profo: dict) -> None:
+    print(
+        f"prof  {profo['name']:15s} off {profo['off_s']:.4f}s  "
+        f"profiled {profo['profiled_s']:.4f}s  "
+        f"overhead {profo['overhead']}x  "
+        f"sim-identical={profo['sim_identical']}"
+    )
+
+
 def run_bench(
     quick: bool = False,
     repeat: int | None = None,
@@ -653,12 +889,7 @@ def run_bench(
         from repro.skeletons.fuse import fusion_default
 
         prior_default = fusion_default()
-    if repeat is None:
-        # best-of needs headroom: the micros run low-millisecond kernels
-        # where scheduler noise easily doubles a single measurement
-        repeat = 3 if quick else 7
-    n, m = (128, 64) if quick else (512, 192)
-    iters = 3 if quick else 5
+    repeat = _default_repeat(quick, repeat)
 
     report: dict = {
         "schema": BENCH_SCHEMA,
@@ -671,75 +902,36 @@ def run_bench(
         "end_to_end": [],
     }
 
-    for name, fn in MICROBENCHES.items():
-        for p in MICRO_PS:
-            entry = _run_pair(
-                lambda fn=fn, p=p: fn(p, n, m, iters, seed), repeat, available
-            )
-            entry.update({"name": name, "p": p, "n": n, "m": m, "iters": iters})
-            report["microbench"].append(entry)
-            print(
-                f"micro {name:7s} p={p:<3d} fused {entry['fused_s']:.4f}s  "
-                f"per-rank {entry['unfused_s']:.4f}s  "
-                f"speedup {entry['speedup']}x  "
-                f"sim-identical={entry['sim_identical']}"
-            )
-
+    report["microbench"] = run_micro_section(quick, repeat, seed)
     report["scale"] = run_scale_bench(quick, seed)
 
     obs = run_obs_overhead(quick, repeat, seed)
     report["obs_overhead"] = obs
-    print(
-        f"obs   {obs['name']:15s} off {obs['off_s']:.4f}s  "
-        f"record {obs['record_overhead']}x  stream {obs['stream_overhead']}x  "
-        f"sim-identical={obs['sim_identical']}"
-    )
+    _print_obs(obs)
 
     profo = run_profile_overhead(quick, repeat, seed)
     report["profile_overhead"] = profo
-    print(
-        f"prof  {profo['name']:15s} off {profo['off_s']:.4f}s  "
-        f"profiled {profo['profiled_s']:.4f}s  "
-        f"overhead {profo['overhead']}x  "
-        f"sim-identical={profo['sim_identical']}"
-    )
+    _print_profile(profo)
+
+    report["fusion"] = run_fusion_bench(quick, repeat, seed)
 
     if e2e:
-        shp_n, gauss_n = (32, 32) if quick else (128, 128)
-        for name, fn in (
-            ("table1_shpaths", lambda: _e2e_shpaths(16, shp_n, seed)),
-            ("table2_gauss", lambda: _e2e_gauss(16, gauss_n, seed)),
-        ):
-            entry = _run_pair(lambda fn=fn: fn, max(1, repeat - 1), available)
-            entry.update({"name": name, "p": 16, "n": shp_n if "shpaths" in name else gauss_n})
-            report["end_to_end"].append(entry)
-            print(
-                f"e2e   {name:15s} fused {entry['fused_s']:.3f}s  "
-                f"per-rank {entry['unfused_s']:.3f}s  "
-                f"speedup {entry['speedup']}x  "
-                f"sim-identical={entry['sim_identical']}"
-            )
-        if eval_all_scale is not None:
-            entry = _run_pair(
-                lambda: lambda: _e2e_eval_all(eval_all_scale), 1, available
-            )
-            entry.update({"name": "eval_all", "scale": eval_all_scale})
-            report["end_to_end"].append(entry)
-            print(
-                f"e2e   eval_all scale={eval_all_scale} "
-                f"fused {entry['fused_s']:.2f}s  "
-                f"per-rank {entry['unfused_s']:.2f}s  "
-                f"speedup {entry['speedup']}x  "
-                f"sim-identical={entry['sim_identical']}"
-            )
+        report["end_to_end"] = run_e2e_section(
+            quick, repeat, seed, eval_all_scale
+        )
 
     if available:
         _set_fusion(prior_default)
     return report
 
 
-def validate_schema(doc: dict) -> list[str]:
-    """Structural validation of a BENCH_perf.json document."""
+def validate_schema(doc: dict, partial: bool = False) -> list[str]:
+    """Structural validation of a BENCH_perf.json document.
+
+    *partial* relaxes the non-empty-microbench requirement — a
+    ``--section`` run regenerating one section into a fresh file
+    legitimately carries empty lists for the sections it did not run.
+    """
     problems = []
     if doc.get("schema") != BENCH_SCHEMA:
         problems.append(f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}")
@@ -752,8 +944,20 @@ def validate_schema(doc: dict) -> list[str]:
             for key in ("name", "fused_s", "unfused_s", "speedup", "sim_identical"):
                 if key not in e:
                     problems.append(f"{section}[{i}] missing {key!r}")
-    if not doc.get("microbench"):
+    if not doc.get("microbench") and not partial:
         problems.append("no microbenchmark entries")
+    # the fusion section arrived with compiler-level skeleton fusion;
+    # tolerate committed baselines written before it existed
+    fus = doc.get("fusion")
+    if fus is not None:
+        if not isinstance(fus, list):
+            problems.append("fusion is not a list")
+        else:
+            for i, e in enumerate(fus):
+                for key in ("name", "p", "rounds_unfused", "rounds_fused",
+                            "sim_unfused", "sim_fused", "values_equal"):
+                    if key not in e:
+                        problems.append(f"fusion[{i}] missing {key!r}")
     # the scale section arrived with the closed-form collective tier;
     # tolerate committed baselines written before it existed
     scale = doc.get("scale")
@@ -828,12 +1032,46 @@ def check_regressions(current: dict, committed: dict) -> list[str]:
     return failures
 
 
+def run_section(
+    section: str,
+    quick: bool,
+    repeat: int | None,
+    seed: int,
+    backend: str | None = None,
+    eval_all_scale: float | None = None,
+):
+    """Run one named section; returns its value for the report key."""
+    if section == "microbench":
+        return run_micro_section(quick, repeat, seed)
+    if section == "end_to_end":
+        return run_e2e_section(quick, repeat, seed, eval_all_scale)
+    if section == "scale":
+        return run_scale_bench(quick, seed)
+    if section == "obs_overhead":
+        obs = run_obs_overhead(quick, _default_repeat(quick, repeat), seed)
+        _print_obs(obs)
+        return obs
+    if section == "profile_overhead":
+        profo = run_profile_overhead(
+            quick, _default_repeat(quick, repeat), seed
+        )
+        _print_profile(profo)
+        return profo
+    if section == "fusion":
+        return run_fusion_bench(quick, repeat, seed)
+    if section == "backend":
+        return run_backend_bench(backend, quick=quick, repeat=repeat, seed=seed)
+    raise ValueError(f"unknown bench section {section!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.errors import UsageError
     from repro.eval.cliopts import (
         apply_backend,
+        apply_fusion,
         obs_parent,
         representative_obs_run,
+        validate_fusion_flags,
         validate_profile_flags,
     )
 
@@ -859,29 +1097,66 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--check-against", metavar="FILE", default=None,
                     help="fail if fused map/fold speedups regressed >25%% "
                     "against this committed BENCH_perf.json")
+    ap.add_argument("--section", choices=BENCH_SECTION_NAMES, default=None,
+                    metavar="NAME",
+                    help="run only this section and merge it into --out, "
+                    "leaving every other section of an existing report "
+                    "untouched (choices: %(choices)s)")
     args = ap.parse_args(argv)
     try:
         # bench drives backends itself, so only --workers applies here
         validate_profile_flags(args)
+        validate_fusion_flags(args)
+        if args.section == "backend" and args.backend not in ("threads", "mp"):
+            raise UsageError(
+                "--section backend needs --backend threads|mp to know "
+                "which real backend to time"
+            )
         apply_backend(None, args.workers)
+        apply_fusion(args.fusion, args.fused)
     except UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    report = run_bench(
-        quick=args.quick,
-        repeat=args.repeat,
-        seed=args.seed,
-        e2e=not args.no_e2e,
-        eval_all_scale=args.eval_all_scale,
-    )
-    if args.backend in ("threads", "mp"):
-        report["backend"] = run_backend_bench(
-            args.backend, quick=args.quick, repeat=args.repeat, seed=args.seed
+    if args.section is not None:
+        # regenerate one section, keep the rest of an existing report
+        report = {
+            "schema": BENCH_SCHEMA,
+            "quick": args.quick,
+            "fusion_available": _fusion_available(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "repeat": _default_repeat(args.quick, args.repeat),
+            "microbench": [],
+            "end_to_end": [],
+        }
+        if os.path.exists(args.out):
+            with open(args.out) as fh:
+                report.update(json.load(fh))
+        report[args.section] = run_section(
+            args.section,
+            quick=args.quick,
+            repeat=args.repeat,
+            seed=args.seed,
+            backend=args.backend,
+            eval_all_scale=args.eval_all_scale,
         )
-    elif args.backend == "sim":
-        print("--backend sim is the baseline; no backend section recorded")
-    problems = validate_schema(report)
+    else:
+        report = run_bench(
+            quick=args.quick,
+            repeat=args.repeat,
+            seed=args.seed,
+            e2e=not args.no_e2e,
+            eval_all_scale=args.eval_all_scale,
+        )
+        if args.backend in ("threads", "mp"):
+            report["backend"] = run_backend_bench(
+                args.backend, quick=args.quick, repeat=args.repeat,
+                seed=args.seed
+            )
+        elif args.backend == "sim":
+            print("--backend sim is the baseline; no backend section recorded")
+    problems = validate_schema(report, partial=args.section is not None)
     if problems:
         for pb in problems:
             print(f"SCHEMA PROBLEM: {pb}", file=sys.stderr)
@@ -933,6 +1208,31 @@ def main(argv: list[str] | None = None) -> int:
                 f"{profo['name']}: profiled wall {overhead}x exceeds the "
                 f"{PROFILE_OVERHEAD_LIMIT}x ceiling vs the unprofiled run"
             )
+    fus = report.get("fusion")
+    if fus is not None:
+        for e in fus:
+            where = f"fusion {e['name']} p={e.get('p', '?')}"
+            if not e.get("values_equal", True):
+                failures.append(
+                    f"{where}: fused values differ from unfused "
+                    "(fusion must be value-preserving)"
+                )
+            su, sf = e.get("sim_unfused"), e.get("sim_fused")
+            if su is not None and sf is not None and sf > su:
+                failures.append(
+                    f"{where}: fused simulated seconds {sf:.6g} exceed "
+                    f"unfused {su:.6g} (fusion made the schedule slower)"
+                )
+            if (
+                e.get("name") == "map_map"
+                and e.get("rounds_ratio") is not None
+                and e["rounds_ratio"] < FUSION_ROUNDS_FLOOR
+            ):
+                failures.append(
+                    f"{where}: rounds ratio {e['rounds_ratio']}x is below "
+                    f"the {FUSION_ROUNDS_FLOOR}x floor "
+                    f"({e['rounds_unfused']} -> {e['rounds_fused']} rounds)"
+                )
     back = report.get("backend")
     if back is not None:
         for e in back["entries"]:

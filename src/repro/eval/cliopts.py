@@ -37,6 +37,19 @@ definitions cannot drift again:
     for this process).  Rejected with a clear usage error when
     nonpositive, as is ``--p`` on the run-target subcommands.
 
+``--fusion`` / ``--no-fusion``
+    Turn *compiler-level* skeleton fusion on or off for the command's
+    runs (the ``REPRO_FUSION`` default for this process; see
+    :mod:`repro.lang.fusion`).  Unlike ``--fused`` this changes the
+    simulated schedule: fused runs charge fewer skeleton rounds.
+
+``--fused`` / ``--no-fused``
+    Turn the runtime whole-array fast path on or off (the
+    ``REPRO_FUSED`` default).  Wall-clock only; simulated seconds are
+    identical either way.  ``--fusion --no-fused`` is rejected as
+    contradictory: compiler fusion composes kernels whose benefit is
+    realised through the fused execution path it would be disabling.
+
 ``--profile``
     Attach the wall-clock worker-plane profiler
     (:class:`~repro.obs.prof.WallProfiler`) to the command's traced run
@@ -63,10 +76,12 @@ from repro.errors import UsageError
 
 __all__ = [
     "apply_backend",
+    "apply_fusion",
     "obs_parent",
     "representative_obs_run",
     "require_positive",
     "run_target_parent",
+    "validate_fusion_flags",
     "validate_profile_flags",
     "write_obs_artifacts",
 ]
@@ -109,6 +124,21 @@ def obs_parent() -> argparse.ArgumentParser:
         metavar="N",
         help="worker count for the real backends (default: the "
         "REPRO_WORKERS env var, else min(p, cores))",
+    )
+    g.add_argument(
+        "--fusion",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="compiler-level skeleton fusion on (--fusion) or off "
+        "(--no-fusion) for this command's runs; changes the simulated "
+        "schedule (fewer skeleton rounds), values stay bit-equal",
+    )
+    g.add_argument(
+        "--fused",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="runtime whole-array fast path on (--fused) or off "
+        "(--no-fused); wall-clock only, simulated seconds unchanged",
     )
     g.add_argument(
         "--profile",
@@ -163,6 +193,40 @@ def validate_profile_flags(args) -> None:
         args, "profile", False
     ):
         raise UsageError("--profile-out requires --profile")
+
+
+def validate_fusion_flags(args) -> None:
+    """``--fusion`` together with ``--no-fused`` is a usage error.
+
+    Compiler-level fusion composes kernels precisely so the fused
+    whole-array execution path can run them in one sweep; asking for
+    the former while switching off the latter is contradictory, so it
+    is rejected up front instead of silently running a pessimised mix.
+    """
+    if getattr(args, "fusion", None) is True and getattr(
+        args, "fused", None
+    ) is False:
+        raise UsageError(
+            "--fusion contradicts --no-fused: compiler-level fusion "
+            "relies on the fused execution path; drop one of the flags"
+        )
+
+
+def apply_fusion(fusion: bool | None, fused: bool | None = None) -> None:
+    """Make ``--fusion``/``--fused`` the process-wide defaults.
+
+    No-op for unset values (the REPRO_FUSION / REPRO_FUSED env
+    defaults stay in charge).  Call :func:`validate_fusion_flags`
+    first — this function assumes a consistent pair.
+    """
+    if fusion is not None:
+        from repro.skeletons.fuse import set_program_fusion_default
+
+        set_program_fusion_default(fusion)
+    if fused is not None:
+        from repro.skeletons.fuse import set_fusion_default
+
+        set_fusion_default(fused)
 
 
 def apply_backend(name: str | None, workers: int | None = None) -> None:

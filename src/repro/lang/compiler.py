@@ -28,6 +28,7 @@ from repro.lang.parser import parse
 from repro.lang.typecheck import CheckedProgram, check
 from repro.lang.types import TPrim
 from repro.skeletons import SkilContext
+from repro.skeletons.fuse import program_fusion_default
 
 __all__ = ["SkilModule", "compile_skil"]
 
@@ -41,6 +42,9 @@ class SkilModule:
     checked: CheckedProgram
     instantiated: InstantiatedProgram
     namespace: dict = field(default_factory=dict)
+    #: the :class:`repro.lang.fusion.FusionReport` when the program was
+    #: compiled with skeleton fusion, else ``None``
+    fusion_report: Any = None
 
     @property
     def instantiation_report(self) -> dict[str, list[str]]:
@@ -107,8 +111,20 @@ def compile_skil_file(path) -> SkilModule:
     return compile_skil(Path(path).read_text())
 
 
-def compile_skil(source: str) -> SkilModule:
-    """Compile Skil source text into an executable :class:`SkilModule`."""
+def compile_skil(
+    source: str,
+    *,
+    fusion: bool | None = None,
+    no_fuse_lines=(),
+) -> SkilModule:
+    """Compile Skil source text into an executable :class:`SkilModule`.
+
+    *fusion* enables the skeleton discovery & fusion pass
+    (:mod:`repro.lang.fusion`) between instantiation and code emission;
+    ``None`` defers to the process default (``REPRO_FUSION`` /
+    :func:`repro.skeletons.fuse.set_program_fusion_default`).
+    *no_fuse_lines* opts individual source lines out of rewriting.
+    """
     import sys
 
     from repro.obs import global_metrics
@@ -136,8 +152,25 @@ def compile_skil(source: str) -> SkilModule:
         if fields:
             _rt.register_struct(sd.name, fields)
     instantiated = instantiate_program(checked)
+    if fusion is None:
+        fusion = program_fusion_default()
+    fusion_report = None
+    if fusion:
+        from repro.lang.fusion import fuse_program
+
+        fusion_report = fuse_program(instantiated, no_fuse_lines)
+        global_metrics().inc(
+            "lang.fusion_rewrites", len(fusion_report.rewrites)
+        )
     python_source = generate_python(instantiated)
     namespace: dict = {}
     code = compile(python_source, "<skil-generated>", "exec")
     exec(code, namespace)  # noqa: S102 - compiling our own generated code
-    return SkilModule(source, python_source, checked, instantiated, namespace)
+    return SkilModule(
+        source,
+        python_source,
+        checked,
+        instantiated,
+        namespace,
+        fusion_report=fusion_report,
+    )

@@ -15,7 +15,7 @@ import math
 
 import numpy as np
 
-from repro.errors import SkilRuntimeError
+from repro.errors import SkeletonError, SkilRuntimeError
 from repro.skeletons import MAX, MIN, OPERATOR_SECTIONS
 from repro.skeletons.base import current_context
 
@@ -31,6 +31,7 @@ __all__ = [
     "make_kernel",
     "section",
     "array_create",
+    "array_create_uninit",
     "array_destroy",
     "array_map",
     "array_fold",
@@ -38,6 +39,7 @@ __all__ = [
     "array_broadcast_part",
     "array_permute_rows",
     "array_gen_mult",
+    "array_gen_mult_square",
     "array_zip",
     "array_scan",
     "dtype_of",
@@ -71,12 +73,42 @@ def array_part_bounds(a):
     return a.part_bounds(current_context().proc_id())
 
 
+def _frontend_rank(a, ix):
+    """Owner rank for a front-end (outside-skeleton) element access.
+
+    Inside a skeleton the access is the paper's local macro.  Outside,
+    the program is the front end touching distributed data: the access
+    resolves to the element's owner and costs one simulated message
+    between the front end (modelled at rank 0) and the owner — which is
+    exactly why the fusion pass rewrites element loops into skeletons.
+    """
+    owner = a.owner(ix)
+    a.machine.network.p2p(
+        owner,
+        0,
+        a.dtype.itemsize,
+        a.machine.topology(a.distr),
+        tag="frontend-elem",
+    )
+    return owner
+
+
 def array_get_elem(a, ix):
-    return a.get_elem(tuple(int(i) for i in ix), current_context().proc_id())
+    ix = tuple(int(i) for i in ix)
+    try:
+        rank = current_context().proc_id()
+    except SkeletonError:
+        rank = _frontend_rank(a, ix)
+    return a.get_elem(ix, rank)
 
 
 def array_put_elem(a, ix, value):
-    a.put_elem(tuple(int(i) for i in ix), value, current_context().proc_id())
+    ix = tuple(int(i) for i in ix)
+    try:
+        rank = current_context().proc_id()
+    except SkeletonError:
+        rank = _frontend_rank(a, ix)
+    a.put_elem(ix, value, rank)
 
 
 def bounds_member(b, name: str):
@@ -147,6 +179,11 @@ def array_create(ctx, dim, size, blocksize, lowerbd, init_f, distr, dtype):
                             dtype=dtype)
 
 
+def array_create_uninit(ctx, dim, size, blocksize, lowerbd, distr, dtype):
+    return ctx.array_create_uninit(dim, size, blocksize, lowerbd, distr,
+                                   dtype=dtype)
+
+
 def array_destroy(ctx, a):
     ctx.array_destroy(a)
 
@@ -173,6 +210,10 @@ def array_permute_rows(ctx, src, perm_f, dst):
 
 def array_gen_mult(ctx, a, b, gen_add, gen_mult, c):
     ctx.array_gen_mult(a, b, gen_add, gen_mult, c)
+
+
+def array_gen_mult_square(ctx, a, gen_add, gen_mult, c):
+    ctx.array_gen_mult_square(a, gen_add, gen_mult, c)
 
 
 def array_zip(ctx, f, a, b, dst):

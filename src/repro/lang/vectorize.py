@@ -7,8 +7,9 @@ back end is Python, where a per-element loop is slow *in wall-clock*
 that gap by translating kernels in a restricted-but-common subset into
 numpy expressions over whole partitions:
 
-* straight-line bodies of uniform declarations, ``if``/``return``
-  chains and a final ``return``;
+* straight-line bodies of local declarations (uniform ones become
+  Python scalars, per-element ones whole-block arrays), ``if``/
+  ``return`` chains and a final ``return``;
 * expressions over the element value, ``ix[...]`` components, lifted
   parameters, numeric literals, ``array_get_elem`` with in-partition
   indices, ``array_part_bounds`` results, ``procId``, ``abs``/``min``/
@@ -84,6 +85,7 @@ class _Vectorizer:
         }
         self.scalar_params = {p.name for p in lead} - self.array_params
         self.uniform_locals: dict[str, str] = {}
+        self.varying_locals: set[str] = set()
         self.prologue: list[str] = []
         # does the emitted code read __env (procId, part_bounds, gather)?
         # env-free kernels may run fused over the whole pooled array —
@@ -117,10 +119,14 @@ class _Vectorizer:
             if s.init is None:
                 raise VectorizeFailure("uninitialised local")
             code, uniform = self._expr(s.init)
-            if not uniform:
-                raise VectorizeFailure("varying local declarations unsupported")
             self.prologue.append(f"{s.name} = {code}")
-            self.uniform_locals[s.name] = s.name
+            if uniform:
+                self.uniform_locals[s.name] = s.name
+            else:
+                # a per-element temporary (the fusion pass threads the
+                # producer kernel's value through one); it simply becomes
+                # a whole-block numpy array bound in the prologue
+                self.varying_locals.add(s.name)
             return self._translate_stmts(rest)
         if isinstance(s, A.Return):
             if s.value is None:
@@ -159,6 +165,8 @@ class _Vectorizer:
                 return e.name, False
             if e.name == self.ix_name:
                 raise VectorizeFailure("whole-Index use outside indexing")
+            if e.name in self.varying_locals:
+                return e.name, False
             if e.name in self.scalar_params or e.name in self.uniform_locals:
                 return e.name, True
             if e.name in self.array_params:

@@ -57,7 +57,9 @@ __all__ = [
 ]
 
 #: entry-list sections of a ``repro-bench/1`` snapshot, in report order
-BENCH_SECTIONS = ("microbench", "end_to_end", "scale")
+#: (``fusion`` entries carry no ``speedup`` key on purpose: their gates
+#: — rounds ratio, value equality — live in the bench harness itself)
+BENCH_SECTIONS = ("microbench", "end_to_end", "scale", "fusion")
 
 #: single-dict sections reported by :func:`snapshot_additions` when new.
 #: Never gated here: ``obs_overhead`` and ``profile_overhead`` carry

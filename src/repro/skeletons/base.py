@@ -32,7 +32,7 @@ from repro.arrays.darray import DistArray
 from repro.errors import SkeletonError
 from repro.machine.costmodel import SKIL, LanguageProfile
 from repro.machine.machine import DISTR_DEFAULT, Machine
-from repro.skeletons.fuse import fusion_default
+from repro.skeletons.fuse import fusion_default, program_fusion_default
 
 __all__ = ["SkilContext", "MapEnv", "ops_of", "current_context", "skeleton_span"]
 
@@ -112,6 +112,7 @@ class SkilContext:
         profile: LanguageProfile = SKIL,
         default_distr: str = DISTR_DEFAULT,
         fused: bool | None = None,
+        fusion: bool | None = None,
     ):
         self.machine = machine
         self.profile = profile
@@ -120,6 +121,11 @@ class SkilContext:
         #: (:mod:`repro.skeletons.fuse`); simulated seconds are identical
         #: either way, only wall-clock changes.  ``None`` = process default.
         self.fused = fusion_default() if fused is None else bool(fused)
+        #: whether *compiler-level* skeleton fusion is on for this run:
+        #: ``compile_skil`` consults it via the process default, and the
+        #: hand-written drivers mirror the pass's rewrites when set (fewer
+        #: skeleton rounds, elided intermediates; values stay bit-equal).
+        self.fusion = program_fusion_default() if fusion is None else bool(fusion)
         #: rank whose partition is currently being processed by a
         #: skeleton; user argument functions may read it (``procId``).
         self.current_rank: int | None = None
@@ -258,6 +264,7 @@ def _attach_api() -> None:
     from repro.skeletons import map as map_mod
 
     SkilContext.array_create = create.array_create
+    SkilContext.array_create_uninit = create.array_create_uninit
     SkilContext.array_destroy = create.array_destroy
     SkilContext.array_copy = create.array_copy
     SkilContext.array_map = map_mod.array_map
@@ -268,6 +275,7 @@ def _attach_api() -> None:
     SkilContext.array_permute_rows = comm.array_permute_rows
     SkilContext.array_rotate_rows = comm.array_rotate_rows
     SkilContext.array_gen_mult = genmult.array_gen_mult
+    SkilContext.array_gen_mult_square = genmult.array_gen_mult_square
     SkilContext.array_map_overlap = extensions.array_map_overlap
     SkilContext.divide_and_conquer = dc.divide_and_conquer
     SkilContext.farm = farm.farm

@@ -32,7 +32,7 @@ from repro.skeletons import fuse
 from repro.skeletons.base import MapEnv, ops_of, skeleton_span
 from repro.skeletons.map import apply_fused
 
-__all__ = ["array_create", "array_destroy", "array_copy"]
+__all__ = ["array_create", "array_create_uninit", "array_destroy", "array_copy"]
 
 
 @skeleton_span("array_create")
@@ -98,6 +98,30 @@ def array_create(
     ctx.current_rank = None
     ctx.net.compute(per_rank)
     return arr
+
+
+def array_create_uninit(
+    ctx,
+    dim: int,
+    size,
+    blocksize,
+    lowerbd,
+    distr: str | None = None,
+    dtype=np.float64,
+) -> DistArray:
+    """Allocate like :func:`array_create` but skip the initialization.
+
+    The fusion pass (:mod:`repro.lang.fusion`) rewrites creates whose
+    initial values are provably overwritten before any read — the
+    allocation stays, but the per-element init work *and* the skeleton
+    round disappear from the simulated schedule.  Accordingly this is
+    not a collective: no ``skeleton_span``, no time charged.  Element
+    values are unspecified until the first full overwrite.
+    """
+    distr = distr if distr is not None else ctx.default_distr
+    grid = default_grid(ctx.machine, dim, distr)
+    dist = BlockDistribution.from_pardata_args(dim, size, blocksize, lowerbd, grid)
+    return DistArray(ctx.machine, dist, dtype, distr)
 
 
 @skeleton_span("array_destroy")

@@ -47,6 +47,8 @@ __all__ = [
     "FusedEnv",
     "fusion_default",
     "set_fusion_default",
+    "program_fusion_default",
+    "set_program_fusion_default",
     "kernel_fusability",
     "remember_fusability",
     "dispatch_blocks",
@@ -77,6 +79,29 @@ def set_fusion_default(enabled: bool) -> None:
     harness toggles this between timed runs)."""
     global _FUSION_DEFAULT
     _FUSION_DEFAULT = bool(enabled)
+
+
+#: process-wide default for *compiler-level* skeleton fusion
+#: (``SkilContext(fusion=...)`` / ``compile_skil(fusion=...)``, see
+#: :mod:`repro.lang.fusion`).  Unlike the wall-clock-only fused execution
+#: path above, program fusion changes the *simulated* schedule (fewer
+#: skeleton rounds, no intermediate arrays) while keeping values
+#: bit-equal — it therefore defaults OFF so that baseline artefacts stay
+#: reproducible; ``REPRO_FUSION=1`` (or ``--fusion``) opts in.
+_PROGRAM_FUSION_DEFAULT = os.environ.get("REPRO_FUSION", "0").lower() in (
+    "1", "true", "yes", "on",
+)
+
+
+def program_fusion_default() -> bool:
+    return _PROGRAM_FUSION_DEFAULT
+
+
+def set_program_fusion_default(enabled: bool) -> None:
+    """Set the process-wide default for compiler-level skeleton fusion
+    consulted by ``compile_skil`` and new contexts (``--fusion``)."""
+    global _PROGRAM_FUSION_DEFAULT
+    _PROGRAM_FUSION_DEFAULT = bool(enabled)
 
 
 class FusedEnv:

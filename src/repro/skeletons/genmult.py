@@ -50,7 +50,7 @@ from repro.machine.topology import Torus2D
 from repro.skeletons.base import ops_of, skeleton_span
 from repro.skeletons.fuse import interleaved_view, stacked_blocks
 
-__all__ = ["array_gen_mult", "semiring_block_product"]
+__all__ = ["array_gen_mult", "array_gen_mult_square", "semiring_block_product"]
 
 #: cap on the temporary ``(m, k_chunk, n)`` tensor built by the generic
 #: vectorized path, in elements
@@ -208,6 +208,41 @@ def array_gen_mult(
 ) -> None:
     """Compose *a* and *b* with the matrix-multiplication pattern into *c*."""
     ctx.check_distinct("array_gen_mult", a, b, c)
+    _gen_mult_impl(ctx, a, b, gen_add, gen_mult, c)
+
+
+@skeleton_span("array_gen_mult_square")
+def array_gen_mult_square(
+    ctx,
+    a: DistArray,
+    gen_add: Callable,
+    gen_mult: Callable,
+    c: DistArray,
+) -> None:
+    """Generic product of *a* with itself, accumulated into *c*.
+
+    The paper forbids ``array_gen_mult(a, a, ...)`` because the real
+    machine rotates the argument partitions in place; this entry point is
+    the fusion pass's target for the ``array_copy(a, b);
+    array_gen_mult(a, b, ...)`` idiom (shortest paths squares the
+    adjacency matrix every iteration).  It is safe here because the
+    implementation only ever reads private copies of the argument blocks,
+    so ``b is a`` observes exactly the values the fresh copy would — the
+    copy's round and the second matrix vanish from the schedule while the
+    result stays bit-equal.
+    """
+    ctx.check_distinct("array_gen_mult_square", a, c)
+    _gen_mult_impl(ctx, a, a, gen_add, gen_mult, c)
+
+
+def _gen_mult_impl(
+    ctx,
+    a: DistArray,
+    b: DistArray,
+    gen_add: Callable,
+    gen_mult: Callable,
+    c: DistArray,
+) -> None:
     for arr in (a, b, c):
         if arr.dim != 2:
             raise SkeletonError("array_gen_mult applies only to 2-dimensional arrays")
